@@ -1,0 +1,40 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the experiment on the simulated cluster, prints a
+paper-vs-measured comparison, persists the same table under
+``benchmarks/results/<name>.txt``, and asserts the *shape* claims
+(who wins, rough factors, crossovers) — never absolute numbers, since
+the substrate is a simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a result block and persist it for the record."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    """Fixed-width text table."""
+    cols = [[str(h)] + [str(r[i]) for r in rows]
+            for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in rows)
+    return out

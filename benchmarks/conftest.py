@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Makes the sibling ``bench_util`` module importable regardless of the
+pytest rootdir, and registers the ``shape`` marker used to tag the
+assertions that encode the paper's qualitative claims.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "shape: asserts a qualitative claim from the paper")

@@ -1,0 +1,66 @@
+"""Ablation (section 6.2.3): balancer decision aggressiveness.
+
+Paper: "The other way to change aggressiveness of the decision making
+is to program into the balancer a threshold for sustained overload.
+This forces the balancer to wait a certain number of iterations after
+a migration before proceeding ... our experiments confirm that the
+more conservative the approach the less overall throughput."
+
+We wrap the Mantle sequencer policy with increasing save_state backoff
+counts and measure whole-run throughput: each added backoff tick delays
+convergence, costing aggregate ops.
+"""
+
+from bench_util import emit, table
+
+from repro.core import LoadBalancingInterface, MalacologyCluster
+from repro.mantle import attach_balancers, builtin
+from repro.workloads import SequencerWorkload
+
+DURATION = 120.0
+BACKOFFS = [0, 2, 4]
+
+
+def run_one(backoff_ticks, seed=131):
+    cluster = MalacologyCluster.build(osds=10, mdss=3, seed=seed)
+    attach_balancers(cluster)
+    source = builtin.with_backoff(builtin.MANTLE_SEQUENCER, backoff_ticks)
+    cluster.do(LoadBalancingInterface(cluster.admin).publish_policy(
+        f"backoff-{backoff_ticks}", source))
+    workload = SequencerWorkload(cluster, num_sequencers=3,
+                                 clients_per_seq=4)
+    workload.setup(lease_mode="round-trip")
+    start = cluster.sim.now
+    workload.start()
+    cluster.run(DURATION)
+    workload.stop()
+    return {
+        "whole_run": workload.mean_rate(start, start + DURATION),
+        "steady": workload.mean_rate(start + DURATION - 20,
+                                     start + DURATION),
+    }
+
+
+def run_experiment():
+    return {b: run_one(b) for b in BACKOFFS}
+
+
+def test_ablation_backoff(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [(b, f"{r['whole_run']:.0f}", f"{r['steady']:.0f}")
+            for b, r in results.items()]
+    lines = table(["backoff (ticks)", "whole-run ops/s", "steady ops/s"],
+                  rows)
+    lines.append("")
+    lines.append("paper: the more conservative the approach the less "
+                 "overall throughput")
+    emit("ablation_backoff", lines)
+
+    whole = [results[b]["whole_run"] for b in BACKOFFS]
+    # Aggregate throughput strictly suffers as backoff grows.
+    assert whole[0] > whole[-1] * 1.05
+    for a, b in zip(whole, whole[1:]):
+        assert b <= a * 1.02
+    # All variants eventually converge to similar steady state.
+    steadies = [results[b]["steady"] for b in BACKOFFS]
+    assert max(steadies) < 1.5 * min(steadies)

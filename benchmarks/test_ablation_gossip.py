@@ -1,0 +1,96 @@
+"""Ablation: gossip fanout vs interface propagation latency.
+
+DESIGN.md calls out the map-distribution design (monitor seeds a few
+OSDs; peer-to-peer push gossip with fanout F; epoch piggybacking as
+anti-entropy).  This ablation sweeps the fanout and shows the tail of
+Figure 8's CDF collapsing as fanout grows — and the message cost of
+buying that tail down.
+"""
+
+from bench_util import emit, table
+
+from repro.core import MalacologyCluster
+from repro.rados.osd import OSD
+from repro.util.stats import Cdf
+
+OSD_COUNT = 40
+UPDATES = 40
+
+SOURCE = """
+def noop(ctx, args):
+    return None
+
+METHODS = {"noop": noop}
+"""
+
+
+def run_one(fanout, seed=141):
+    old_fanout = OSD.GOSSIP_FANOUT
+    old_ping = OSD.PING_INTERVAL
+    OSD.GOSSIP_FANOUT = fanout
+    OSD.PING_INTERVAL = 0.25
+    try:
+        cluster = MalacologyCluster.build(osds=OSD_COUNT, mdss=0,
+                                          seed=seed,
+                                          proposal_interval=0.05)
+        live = {}
+
+        def make_hook(osd_name):
+            def hook(name, version, t):
+                live.setdefault(version, {})[osd_name] = t
+            return hook
+
+        for osd in cluster.osds:
+            osd.interface_live_hook = make_hook(osd.name)
+
+        sent_before = cluster.net.messages_sent
+        samples = []
+        for version in range(1, UPDATES + 1):
+            cluster.do(cluster.admin.rados_install_interface(
+                "abl_iface", version, SOURCE))
+            committed = cluster.sim.now
+            deadline = committed + 5.0
+            while (cluster.sim.now < deadline
+                   and len(live.get(version, {})) < OSD_COUNT):
+                cluster.run(0.05)
+            samples.extend(t - committed
+                           for t in live.get(version, {}).values())
+        messages = cluster.net.messages_sent - sent_before
+        return Cdf(samples), messages / UPDATES
+    finally:
+        OSD.GOSSIP_FANOUT = old_fanout
+        OSD.PING_INTERVAL = old_ping
+
+
+def run_experiment():
+    return {fanout: run_one(fanout) for fanout in (1, 2, 4)}
+
+
+def test_ablation_gossip(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for fanout, (cdf, msgs) in results.items():
+        rows.append((fanout,
+                     f"{cdf.quantile(0.5) * 1e3:.1f}",
+                     f"{cdf.quantile(0.9) * 1e3:.1f}",
+                     f"{cdf.max * 1e3:.1f}",
+                     f"{msgs:.0f}"))
+    lines = table(["fanout", "p50 (ms)", "p90 (ms)", "max (ms)",
+                   "msgs/update"], rows)
+    lines.append("")
+    lines.append("higher fanout collapses the propagation tail; total "
+                 "message cost stays flat because fast push gossip "
+                 "displaces the anti-entropy pulls that slow fanouts "
+                 "fall back on")
+    emit("ablation_gossip", lines)
+
+    tail1 = results[1][0].quantile(0.9)
+    tail4 = results[4][0].quantile(0.9)
+    # Fanout dramatically shortens the tail ...
+    assert tail4 < 0.5 * tail1
+    # ... at comparable per-update message cost (push displaces pull).
+    costs = [msgs for _, msgs in results.values()]
+    assert max(costs) < 2.0 * min(costs)
+    # Everything converges eventually regardless of fanout.
+    for fanout, (cdf, _) in results.items():
+        assert len(cdf) == OSD_COUNT * UPDATES, fanout

@@ -1,0 +1,85 @@
+"""Figure 10(b): migration units — client vs proxy mode, half vs full.
+
+Paper setup: 2 sequencers, 2 servers.  "Client mode does not perform
+as well for read-heavy workloads.  We even see a throughput
+improvement when migrating all load off the first server ... Proxy
+mode does the best in both cases and shows large performance gains
+when completely decoupling client request handling and operation
+processing in Proxy Mode (Full)" — with "up to a 2x improvement"
+between the best and worst combination (figure caption).
+
+The migration unit is exactly the paper's one-liner: half = the
+``targets[whoami+1] = mds[whoami]["load"]/2`` policy; full = the same
+without the division.  Here we apply the unit explicitly so the four
+bars are controlled, as the figure does.
+"""
+
+from bench_util import emit, table
+
+from repro.core import LoadBalancingInterface, MalacologyCluster
+from repro.workloads import SequencerWorkload
+
+DURATION = 40.0
+MIGRATE_AT = 10.0
+
+
+def run_config(mode, unit, seed=111):
+    cluster = MalacologyCluster.build(osds=6, mdss=2, seed=seed)
+    workload = SequencerWorkload(cluster, num_sequencers=2,
+                                 clients_per_seq=4)
+    workload.setup(lease_mode="round-trip")
+    cluster.do(LoadBalancingInterface(cluster.admin).set_routing_mode(
+        mode))
+    start = cluster.sim.now
+    workload.start()
+    cluster.run(MIGRATE_AT)
+    source_mds = cluster.mds_of_rank(0)
+    count = 1 if unit == "half" else 2
+    for idx in range(count):
+        cluster.sim.run_until_complete(source_mds.spawn(
+            source_mds.migrate_subtree(workload.seq_path(idx), 1)))
+    cluster.run(DURATION - MIGRATE_AT)
+    workload.stop()
+    return workload.mean_rate(start + MIGRATE_AT + 10, start + DURATION)
+
+
+def run_experiment():
+    return {
+        ("client", "half"): run_config("client", "half"),
+        ("client", "full"): run_config("client", "full"),
+        ("proxy", "half"): run_config("proxy", "half"),
+        ("proxy", "full"): run_config("proxy", "full"),
+    }
+
+
+def test_fig10b_migration_units(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [(mode, unit, f"{rate:.0f}")
+            for (mode, unit), rate in results.items()]
+    lines = table(["mode", "migration unit", "steady ops/s"], rows)
+    lines.append("")
+    best = max(results.values())
+    worst = min(results.values())
+    lines.append(f"best/worst = {best / worst:.2f}x "
+                 "(paper: up to 2x)")
+    lines.append("paper: proxy beats client mode in both units; known "
+                 "deviation: in our queueing model Proxy (Half) can "
+                 "edge out Proxy (Full) because the proxy's leftover "
+                 "capacity still serves the unmigrated sequencer "
+                 "(see EXPERIMENTS.md)")
+    emit("fig10b_migration_units", lines)
+
+    ch = results[("client", "half")]
+    cf = results[("client", "full")]
+    ph = results[("proxy", "half")]
+    pf = results[("proxy", "full")]
+    # Proxy mode wins for both migration units, decisively.
+    assert ph > 1.5 * ch
+    assert pf > 1.5 * cf
+    # "Large performance gains" from full decoupling vs client mode.
+    assert pf > 1.8 * cf
+    # The spread between best and worst combination reaches the
+    # paper's "up to 2x".
+    assert best / worst > 1.8
+    # Both proxy configurations beat both client configurations.
+    assert min(ph, pf) > max(ch, cf)

@@ -1,0 +1,96 @@
+"""Figure 12: per-sequencer throughput over time, proxy vs client mode.
+
+Paper setup: 2 sequencers (4 clients each), 2 servers.  Both
+sequencers start below capacity on one server; at t=60 s Sequencer 1
+migrates to the slave server.
+
+(a) Proxy mode: "performance of Sequencer 2 decreases because it
+stayed on the proxy which now processes requests for Sequencer 2 and
+forwards requests for Sequencer 1.  The performance of Sequencer 1
+improves dramatically" — total cluster throughput is the highest.
+
+(b) Client mode: "more fair but results in lower cluster throughput"
+(the scatter-gather cache-coherence work strains the servers once
+client sessions are spread).
+"""
+
+from bench_util import emit, table
+
+from repro.core import LoadBalancingInterface, MalacologyCluster
+from repro.workloads import SequencerWorkload
+
+WARMUP = 60.0
+AFTER = 60.0
+
+
+def run_config(mode, seed=121):
+    cluster = MalacologyCluster.build(osds=6, mdss=2, seed=seed)
+    workload = SequencerWorkload(cluster, num_sequencers=2,
+                                 clients_per_seq=4)
+    workload.setup(lease_mode="round-trip")
+    cluster.do(LoadBalancingInterface(cluster.admin).set_routing_mode(
+        mode))
+    start = cluster.sim.now
+    workload.start()
+    cluster.run(WARMUP)
+    source_mds = cluster.mds_of_rank(0)
+    cluster.sim.run_until_complete(source_mds.spawn(
+        source_mds.migrate_subtree(workload.seq_path(0), 1)))
+    cluster.run(AFTER)
+    workload.stop()
+    window = (start + WARMUP + 15, start + WARMUP + AFTER)
+    pre_window = (start + 20, start + WARMUP - 5)
+    return {
+        "start": start,
+        "seq1_pre": workload.per_seq[0].mean_rate(*pre_window),
+        "seq2_pre": workload.per_seq[1].mean_rate(*pre_window),
+        "seq1_post": workload.per_seq[0].mean_rate(*window),
+        "seq2_post": workload.per_seq[1].mean_rate(*window),
+        "total_post": workload.total.mean_rate(*window),
+        "workload": workload,
+    }
+
+
+def run_experiment():
+    return {"proxy": run_config("proxy"), "client": run_config("client")}
+
+
+def test_fig12_proxy_vs_client(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for mode, r in results.items():
+        rows.append((mode,
+                     f"{r['seq1_pre']:.0f} -> {r['seq1_post']:.0f}",
+                     f"{r['seq2_pre']:.0f} -> {r['seq2_post']:.0f}",
+                     f"{r['total_post']:.0f}"))
+    lines = table(["mode", "sequencer 1 (pre -> post)",
+                   "sequencer 2 (pre -> post)", "cluster total (post)"],
+                  rows)
+    lines.append("")
+    lines.append("time series (cluster ops/s every 15 s, migration at "
+                 "t=60):")
+    for mode, r in results.items():
+        t0 = r["start"]
+        samples = [
+            f"{r['workload'].total.mean_rate(t0 + t, t0 + t + 15):.0f}"
+            for t in range(0, int(WARMUP + AFTER), 15)]
+        lines.append(f"  {mode:7s} {' '.join(samples)}")
+    lines.append("")
+    lines.append("paper: proxy = seq 1 improves dramatically, seq 2 "
+                 "dips, best total; client = more fair, lower total")
+    emit("fig12_proxy_vs_client", lines)
+
+    proxy, client = results["proxy"], results["client"]
+    # Proxy mode: the migrated sequencer improves dramatically...
+    assert proxy["seq1_post"] > 2.0 * proxy["seq1_pre"]
+    # ... while the sequencer left on the proxy stays pinned near its
+    # pre-migration rate (the paper shows an outright dip; our FIFO
+    # CPU model mutes it to "no benefit" — see EXPERIMENTS.md).
+    assert proxy["seq2_post"] < 1.25 * proxy["seq2_pre"]
+    # The asymmetry is dramatic: seq 1 ends far above seq 2.
+    assert proxy["seq1_post"] > 2.0 * proxy["seq2_post"]
+    # Client mode is more fair across sequencers...
+    ratio = client["seq1_post"] / client["seq2_post"]
+    assert 0.8 < ratio < 1.25
+    # ... but cluster throughput is well below proxy mode's.
+    assert proxy["total_post"] > 1.5 * client["total_post"]

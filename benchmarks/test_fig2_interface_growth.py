@@ -1,0 +1,39 @@
+"""Figure 2: growth of co-designed object storage interfaces in Ceph.
+
+Paper: "Since 2010, the growth in the number of co-designed object
+storage interfaces in Ceph has been accelerating."  The figure plots
+cumulative object classes and total methods per year.
+
+Substitution (DESIGN.md): the figure surveys the real Ceph source
+history; we regenerate the series from the transcribed dataset and
+assert the acceleration property plus the Table-1-consistent totals.
+"""
+
+from bench_util import emit, table
+
+from repro.data import growth_series
+from repro.data.ceph_survey import TOTAL_METHODS, is_accelerating
+
+
+def run_experiment():
+    return growth_series()
+
+
+def test_fig2_interface_growth(benchmark):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [(year, classes, methods) for year, classes, methods in series]
+    lines = table(["year", "classes (cumulative)", "methods (cumulative)"],
+                  rows)
+    lines.append("")
+    lines.append(f"paper 2016 totals: 28 classes / {TOTAL_METHODS} methods"
+                 " (Table 1 categories sum)")
+    emit("fig2_interface_growth", lines)
+
+    # Shape: the series is cumulative (monotone) ...
+    for (y0, c0, m0), (y1, c1, m1) in zip(series, series[1:]):
+        assert y1 == y0 + 1
+        assert c1 >= c0 and m1 >= m0
+    # ... accelerating (the figure's headline claim) ...
+    assert is_accelerating(series)
+    # ... and consistent with Table 1's method total at the endpoint.
+    assert series[-1][2] == TOTAL_METHODS

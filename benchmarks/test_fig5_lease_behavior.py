@@ -1,0 +1,81 @@
+"""Figure 5: sequencer capability interleaving under three policies.
+
+Paper: two clients share one sequencer inode.  Under the default
+best-effort policy the capability ping-pongs ("a high degree of
+interleaving ... the system spends a large portion of time
+re-distributing the capability, reducing overall throughput");
+"delay" lets holders keep the lease longer; "quota" grants the lease
+for a fixed number of operations.
+
+We regenerate the per-request traces and summarize them as
+consecutive-run lengths (how many positions one client claimed before
+the capability moved) — the quantitative core of the dot plot.
+"""
+
+import pytest
+from bench_util import emit, table
+
+from repro.core import MalacologyCluster
+from repro.workloads import LeaseContentionWorkload, interleaving_runs
+
+DURATION = 20.0
+
+CONFIGS = [
+    ("best-effort", {}),
+    ("delay", {"min_hold": 0.10}),
+    ("quota", {"quota": 100, "max_hold": 0.25}),
+]
+
+
+def run_experiment():
+    results = {}
+    for mode, kwargs in CONFIGS:
+        cluster = MalacologyCluster.build(osds=3, mdss=1, seed=61)
+        workload = LeaseContentionWorkload(cluster, clients=2)
+        workload.setup(mode, **kwargs)
+        start = cluster.sim.now
+        workload.start()
+        cluster.run(DURATION)
+        workload.stop()
+        runs = interleaving_runs(workload.traces())
+        results[mode] = {
+            "ops": workload.total_ops(),
+            "throughput": workload.total_ops() / DURATION,
+            "exchanges": len(runs),
+            "mean_run": sum(runs) / max(len(runs), 1),
+            "per_client": list(workload.ops_done),
+        }
+    return results
+
+
+def test_fig5_lease_behavior(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (mode,
+         f"{r['throughput']:.0f}",
+         r["exchanges"],
+         f"{r['mean_run']:.1f}",
+         r["per_client"])
+        for mode, r in results.items()
+    ]
+    lines = table(
+        ["policy", "ops/sec", "cap exchanges", "mean run length",
+         "per-client ops"], rows)
+    lines.append("")
+    lines.append("paper: best-effort = heavy interleaving & lost time; "
+                 "delay = long holds; quota = runs of ~quota ops")
+    emit("fig5_lease_behavior", lines)
+
+    be, dl, qt = (results["best-effort"], results["delay"],
+                  results["quota"])
+    # Shape: best-effort ping-pongs far more than the managed policies.
+    assert be["exchanges"] > 5 * qt["exchanges"]
+    assert qt["exchanges"] > 5 * dl["exchanges"]
+    assert be["mean_run"] < 0.2 * qt["mean_run"]
+    # Quota mode's runs sit at the configured quota.
+    assert qt["mean_run"] == pytest.approx(100, rel=0.2)
+    # Re-distribution overhead costs best-effort real throughput.
+    assert dl["throughput"] > 1.5 * be["throughput"]
+    # Both clients made progress in every mode (no starvation).
+    for r in results.values():
+        assert min(r["per_client"]) > 0

@@ -1,0 +1,61 @@
+"""Figure 6: sequencer throughput/latency trade-off vs quota size.
+
+Paper: two clients, a fixed 0.25 s maximum reservation, sweeping the
+log-position quota, two minutes per configuration.  "With a small
+quota more time is spent exchanging exclusive access, while a large
+quota reservation allows clients to experience a much lower latency."
+The top end is bounded by what a single client with an exclusive,
+cacheable capability achieves.
+"""
+
+from bench_util import emit, table
+
+from repro.core import MalacologyCluster
+from repro.workloads import LeaseContentionWorkload
+
+DURATION = 30.0
+QUOTAS = [10, 100, 1000, 10000]
+
+
+def run_one(quota, clients=2, seed=62):
+    cluster = MalacologyCluster.build(osds=3, mdss=1, seed=seed)
+    workload = LeaseContentionWorkload(cluster, clients=clients)
+    workload.setup("quota", quota=quota, max_hold=0.25)
+    workload.start()
+    cluster.run(DURATION)
+    workload.stop()
+    latencies = workload.all_latencies()
+    return {
+        "throughput": workload.total_ops() / DURATION,
+        "mean_latency": sum(latencies) / len(latencies),
+    }
+
+
+def run_experiment():
+    results = {quota: run_one(quota) for quota in QUOTAS}
+    # The paper's reference point: one client, exclusive cacheable cap.
+    results["single-client"] = run_one(10**9, clients=1)
+    return results
+
+
+def test_fig6_throughput_latency(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [(q, f"{results[q]['throughput']:.0f}",
+             f"{results[q]['mean_latency'] * 1e6:.1f}")
+            for q in QUOTAS + ["single-client"]]
+    lines = table(["quota", "total ops/sec", "mean latency (us)"], rows)
+    lines.append("")
+    lines.append("paper: throughput rises and latency falls as the quota "
+                 "grows; exclusive single client is the ceiling")
+    emit("fig6_throughput_latency", lines)
+
+    thr = [results[q]["throughput"] for q in QUOTAS]
+    lat = [results[q]["mean_latency"] for q in QUOTAS]
+    # Shape: monotone trade-off across the sweep (strict at the ends).
+    assert thr[-1] > 1.5 * thr[0]
+    assert lat[-1] < 0.65 * lat[0]
+    for a, b in zip(thr, thr[1:]):
+        assert b >= a * 0.95  # allow flat steps, never regressions
+    # The exclusive single client bounds every shared configuration.
+    ceiling = results["single-client"]["throughput"]
+    assert all(t <= ceiling * 1.05 for t in thr)

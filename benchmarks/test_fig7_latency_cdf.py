@@ -1,0 +1,60 @@
+"""Figure 7: per-client sequencer latency CDF across configurations.
+
+Paper: "At the 99th percentile clients accessed the sequencer in less
+than a millisecond.  The CDF is cropped at the 99.999th percentile due
+to large outliers ... in instances in which the metadata server is
+performing I/O while it is in the process of re-distributing the
+capability" — i.e. the mass of operations are local-cache fast, the
+tail is capability hand-off.
+"""
+
+from bench_util import emit, table
+
+from repro.core import MalacologyCluster
+from repro.util.stats import Cdf
+from repro.workloads import LeaseContentionWorkload
+
+DURATION = 30.0
+CONFIGS = [
+    ("quota=100", {"mode": "quota", "quota": 100, "max_hold": 0.25}),
+    ("quota=1000", {"mode": "quota", "quota": 1000, "max_hold": 0.25}),
+    ("delay=0.1", {"mode": "delay", "min_hold": 0.1}),
+]
+
+
+def run_experiment():
+    results = {}
+    for label, kwargs in CONFIGS:
+        cluster = MalacologyCluster.build(osds=3, mdss=1, seed=63)
+        workload = LeaseContentionWorkload(cluster, clients=2)
+        workload.setup(**kwargs)
+        workload.start()
+        cluster.run(DURATION)
+        workload.stop()
+        results[label] = Cdf(workload.all_latencies())
+    return results
+
+
+def test_fig7_latency_cdf(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quantiles = [0.50, 0.90, 0.99, 0.999, 0.99999]
+    rows = []
+    for label, cdf in results.items():
+        rows.append([label] + [f"{cdf.quantile(q) * 1e6:.0f}"
+                               for q in quantiles]
+                    + [f"{cdf.max * 1e6:.0f}"])
+    lines = table(["config", "p50 (us)", "p90", "p99", "p99.9",
+                   "p99.999", "max"], rows)
+    lines.append("")
+    lines.append("paper: p99 < 1 ms for every config; heavy outliers "
+                 "beyond p99.999 from capability re-distribution")
+    emit("fig7_latency_cdf", lines)
+
+    for label, cdf in results.items():
+        # The paper's headline: sub-millisecond access at the 99th pct.
+        assert cdf.quantile(0.99) < 1e-3, label
+        # The median is the local fast path, far below the p99.
+        assert cdf.quantile(0.5) < 2e-4, label
+        # The extreme tail (capability hand-off) is orders of magnitude
+        # above the median — the reason the paper crops the CDF.
+        assert cdf.max > 20 * cdf.quantile(0.5), label

@@ -1,0 +1,121 @@
+"""Figure 8: cluster-wide interface-update propagation latency.
+
+Paper: a 120-OSD in-memory cluster; 1000 interface updates; latency is
+the elapsed time from the Paxos commit of the update until each OSD
+makes the new interface live (client round trip excluded).  Reported:
+< 54 ms at the 90th percentile, 194 ms worst case.  Section 6.1.2 also
+measures the monitor proposal interval: 1 s accumulation by default,
+tuned down to an average of 222 ms on a minimal realistic (3-monitor,
+hard-drive) quorum.
+
+Here the updates propagate exactly as in the paper — source embedded
+in the OSD map, monitors seed a few OSDs, peer-to-peer gossip plus
+epoch piggybacking carries it the rest of the way — and the modelled
+interface-install cost (lognormal around 20 ms) dominates, as the
+paper's numbers suggest.  We run 150 updates on the 120-OSD cluster
+(1000 adds nothing but wall time: every update is independent).
+"""
+
+import pytest
+from bench_util import emit, table
+
+from repro.core import MalacologyCluster
+from repro.rados.osd import OSD
+from repro.testing import ScriptClient, build_monitor_quorum, run_script, settle_quorum
+from repro.util.stats import Cdf
+
+OSD_COUNT = 120
+UPDATES = 150
+
+IFACE_SOURCE = """
+def ping(ctx, args):
+    return {"v": args.get("v")}
+
+METHODS = {"ping": ping}
+"""
+
+
+def run_propagation():
+    old_ping = OSD.PING_INTERVAL
+    OSD.PING_INTERVAL = 0.2  # anti-entropy rate for straggler pulls
+    try:
+        cluster = MalacologyCluster.build(osds=OSD_COUNT, mdss=0, seed=81,
+                                          proposal_interval=0.05)
+        live_times = {}  # version -> {osd: time}
+
+        def make_hook(osd_name):
+            def hook(name, version, t):
+                live_times.setdefault(version, {})[osd_name] = t
+            return hook
+
+        for osd in cluster.osds:
+            osd.interface_live_hook = make_hook(osd.name)
+
+        samples = []
+        for version in range(1, UPDATES + 1):
+            cluster.do(cluster.admin.rados_install_interface(
+                "bench_iface", version, IFACE_SOURCE))
+            committed = cluster.sim.now
+            deadline = committed + 5.0
+            while (cluster.sim.now < deadline
+                   and len(live_times.get(version, {})) < OSD_COUNT):
+                cluster.run(0.05)
+            arrived = live_times.get(version, {})
+            samples.extend(t - committed for t in arrived.values())
+            if len(arrived) < OSD_COUNT:
+                raise AssertionError(
+                    f"update {version} reached only {len(arrived)}/"
+                    f"{OSD_COUNT} OSDs")
+        return Cdf(samples)
+    finally:
+        OSD.PING_INTERVAL = old_ping
+
+
+def run_proposal_interval(interval, writes=30):
+    sim, net, mons = build_monitor_quorum(count=3, seed=82,
+                                          proposal_interval=interval,
+                                          backing="hdd")
+    settle_quorum(sim, mons)
+    client = ScriptClient(sim, net, "client", [m.name for m in mons])
+    rng = sim.rng("bench-submit")
+    latencies = []
+    for i in range(writes):
+        sim.run(until=sim.now + rng.uniform(0.05, 0.7))
+        started = sim.now
+        run_script(sim, client, client.mon_kv_put(f"k{i}", i))
+        latencies.append(sim.now - started)
+    return sum(latencies) / len(latencies)
+
+
+def run_experiment():
+    cdf = run_propagation()
+    default_commit = run_proposal_interval(1.0)
+    tuned_commit = run_proposal_interval(0.35)
+    return cdf, default_commit, tuned_commit
+
+
+def test_fig8_propagation(benchmark):
+    cdf, default_commit, tuned_commit = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+    rows = [(f"p{q * 100:g}", f"{cdf.quantile(q) * 1e3:.1f} ms")
+            for q in (0.5, 0.9, 0.99, 1.0)]
+    lines = table(["quantile", "propagation latency"], rows)
+    lines.append(f"samples: {len(cdf)} ({OSD_COUNT} OSDs x {UPDATES} "
+                 "updates)")
+    lines.append("paper (120 OSD, RAM): p90 < 54 ms, worst 194 ms")
+    lines.append("")
+    lines.append(f"proposal interval 1.0 s (default): mean commit "
+                 f"{default_commit * 1e3:.0f} ms")
+    lines.append(f"proposal interval 0.35 s (tuned):  mean commit "
+                 f"{tuned_commit * 1e3:.0f} ms (paper: 222 ms)")
+    emit("fig8_propagation", lines)
+
+    # Shape: overwhelming majority of OSDs go live within tens of ms.
+    assert cdf.quantile(0.9) < 0.150
+    # The straggler tail (gossip misses resolved by anti-entropy) stays
+    # bounded well under a second.
+    assert cdf.max < 1.0
+    # Proposal batching dominates commit latency; tuning the interval
+    # brings the mean to the paper's ~222 ms regime.
+    assert tuned_commit < default_commit * 0.6
+    assert tuned_commit < 0.35

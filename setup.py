@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools lacks the PEP 660 editable-wheel path
+(older toolchains need the ``wheel`` package for that; the legacy
+``setup.py develop`` route needs only setuptools).  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Malacology: a programmable storage system (EuroSys '17) — reproduction.
+
+The package rebuilds the paper's full stack on a deterministic
+discrete-event simulator:
+
+* :mod:`repro.sim` / :mod:`repro.msg` — simulation kernel and daemons;
+* :mod:`repro.monitor` — Paxos quorum, cluster maps, Service Metadata;
+* :mod:`repro.rados` — replicated object store with dynamic object
+  classes (:mod:`repro.objclass`);
+* :mod:`repro.mds` — metadata service: File Types, capabilities,
+  subtree migration;
+* :mod:`repro.mantle` — the programmable load balancer;
+* :mod:`repro.zlog` — the CORFU shared log and services built on it;
+* :mod:`repro.core` — the cluster builder and the five Malacology
+  interfaces.
+
+Quick start::
+
+    from repro import MalacologyCluster
+
+    cluster = MalacologyCluster.build(osds=4, mdss=1, seed=7)
+    cluster.do(cluster.admin.rados_write_full("data", "obj", b"hi"))
+
+See README.md for the tour, DESIGN.md for architecture, and
+EXPERIMENTS.md for the paper-vs-measured evaluation.
+"""
+
+from repro.core import MalacologyClient, MalacologyCluster
+from repro.sim import Simulator
+
+__version__ = "0.1.0"
+
+__all__ = ["MalacologyCluster", "MalacologyClient", "Simulator",
+           "__version__"]

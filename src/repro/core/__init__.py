@@ -1,0 +1,41 @@
+"""Malacology's public face: the cluster builder and the five interfaces.
+
+Downstream services (ZLog, Mantle, and whatever users build next)
+program the storage system exclusively through these:
+
+* :class:`ServiceMetadataInterface` — strongly-consistent, versioned
+  key-value state on the monitor quorum (section 4.1);
+* :class:`DataIOInterface` — dynamic object interface classes on the
+  OSDs (section 4.2);
+* :class:`SharedResourceInterface` — capability/lease policy control
+  (section 4.3.1);
+* :class:`FileTypeInterface` — domain-specific inode types
+  (section 4.3.2);
+* :class:`LoadBalancingInterface` — programmable metadata migration
+  (section 4.3.3);
+* :class:`DurabilityInterface` — policy/code persistence in the object
+  store (section 4.4).
+"""
+
+from repro.core.cluster import MalacologyClient, MalacologyCluster
+from repro.core.interfaces import (
+    DataIOInterface,
+    DurabilityInterface,
+    FileTypeInterface,
+    LoadBalancingInterface,
+    ServiceMetadataInterface,
+    SharedResourceInterface,
+    INTERFACE_TABLE,
+)
+
+__all__ = [
+    "MalacologyClient",
+    "MalacologyCluster",
+    "ServiceMetadataInterface",
+    "DataIOInterface",
+    "SharedResourceInterface",
+    "FileTypeInterface",
+    "LoadBalancingInterface",
+    "DurabilityInterface",
+    "INTERFACE_TABLE",
+]

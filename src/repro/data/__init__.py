@@ -1,0 +1,22 @@
+"""Bundled datasets for the motivation figures.
+
+Figure 2 and Table 1 of the paper are a survey of the *real* Ceph
+source tree, not a system measurement; :mod:`repro.data.ceph_survey`
+transcribes the published numbers so the benchmark harness can
+regenerate the same plot series and table rows (the substitution is
+documented in DESIGN.md).
+"""
+
+from repro.data.ceph_survey import (
+    CLASS_GROWTH_BY_YEAR,
+    CATEGORY_TABLE,
+    growth_series,
+    category_rows,
+)
+
+__all__ = [
+    "CLASS_GROWTH_BY_YEAR",
+    "CATEGORY_TABLE",
+    "growth_series",
+    "category_rows",
+]

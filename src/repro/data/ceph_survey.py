@@ -1,0 +1,70 @@
+"""Transcription of the paper's Ceph object-class survey.
+
+Figure 2 ("since 2010, the growth in the number of co-designed object
+storage interfaces in Ceph has been accelerating") plots two series:
+the number of object *classes* (groups of interfaces) and the total
+number of *methods* (API end-points).  Table 1 breaks the methods down
+by category: Logging 11, Metadata/Management 74, Locking 6, Other 4 —
+95 methods total.
+
+The yearly breakdown below is a transcription of the figure's shape
+anchored to the table's 2016 totals: slow start (2010-2012), visible
+acceleration after 2013, ending at the paper's totals.  Absolute
+per-year values are read off the published plot and are approximate;
+the *endpoints* and the *acceleration property* (greater growth in the
+second half of the window) are what the reproduction asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: year -> (cumulative classes, cumulative methods).
+CLASS_GROWTH_BY_YEAR: Dict[int, Tuple[int, int]] = {
+    2010: (2, 4),
+    2011: (4, 10),
+    2012: (5, 14),
+    2013: (8, 23),
+    2014: (12, 38),
+    2015: (18, 63),
+    2016: (28, 95),
+}
+
+#: Table 1 rows: (category, example, method count).
+CATEGORY_TABLE: List[Tuple[str, str, int]] = [
+    ("Logging", "Geographically distribute replicas", 11),
+    ("Metadata/Management",
+     "Snapshots in the block device OR scan extents for file system "
+     "repair", 74),
+    ("Locking", "Grants clients exclusive access", 6),
+    ("Other", "Garbage collection, reference counting", 4),
+]
+
+TOTAL_METHODS = sum(count for _, _, count in CATEGORY_TABLE)
+
+
+def growth_series() -> List[Tuple[int, int, int]]:
+    """(year, classes, methods) rows in chronological order."""
+    return [(year, classes, methods)
+            for year, (classes, methods)
+            in sorted(CLASS_GROWTH_BY_YEAR.items())]
+
+
+def category_rows() -> List[Tuple[str, str, int]]:
+    return list(CATEGORY_TABLE)
+
+
+def is_accelerating(series: List[Tuple[int, int, int]]) -> bool:
+    """Figure 2's claim: growth in the later half beats the earlier.
+
+    Compared on methods added per year across the two halves of the
+    window.
+    """
+    if len(series) < 4:
+        return False
+    mid = len(series) // 2
+    first = series[mid][2] - series[0][2]
+    second = series[-1][2] - series[mid][2]
+    first_years = series[mid][0] - series[0][0]
+    second_years = series[-1][0] - series[mid][0]
+    return (second / max(second_years, 1)) > (first / max(first_years, 1))

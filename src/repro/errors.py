@@ -1,0 +1,191 @@
+"""Exception hierarchy for the Malacology reproduction.
+
+Every error raised across daemon boundaries derives from
+:class:`MalacologyError` so callers can catch storage-stack failures
+without swallowing programming errors.  Errors that travel over the
+simulated wire (RPC) carry a stable ``code`` so they can be re-raised
+on the client side with their identity intact.
+"""
+
+from __future__ import annotations
+
+
+class MalacologyError(Exception):
+    """Base class for all errors raised by the storage stack."""
+
+    #: Stable wire code; subclasses override.  Mirrors errno-style codes
+    #: used by Ceph (e.g. object classes return -EEXIST and friends).
+    code = "EIO"
+
+
+class TimeoutError_(MalacologyError):
+    """An RPC or lease acquisition did not complete within its deadline.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`TimeoutError`; exported as ``RpcTimeout`` from ``repro.msg``.
+    """
+
+    code = "ETIMEDOUT"
+
+
+class ConnectionTimeout(MalacologyError):
+    """A synchronous-over-asynchronous read was cancelled at its deadline.
+
+    Mantle uses this for its "half the balancing tick interval" policy
+    read timeout (paper section 5.1.2): if the RADOS read of the balancer
+    policy does not return in time, the balancer immediately reports a
+    Connection Timeout error rather than blocking the MDS.
+    """
+
+    code = "ETIMEDOUT"
+
+
+class NotFound(MalacologyError):
+    """Object, inode, key, or registered interface does not exist."""
+
+    code = "ENOENT"
+
+
+class AlreadyExists(MalacologyError):
+    """Create-exclusive failed because the target already exists."""
+
+    code = "EEXIST"
+
+
+class NotPermitted(MalacologyError):
+    """Operation rejected by an access or sanitization policy."""
+
+    code = "EPERM"
+
+
+class InvalidArgument(MalacologyError):
+    """Malformed request or out-of-domain parameter."""
+
+    code = "EINVAL"
+
+
+class StaleEpoch(MalacologyError):
+    """Request tagged with an out-of-date epoch was rejected.
+
+    The CORFU storage interface raises this when a client I/O carries an
+    epoch older than the object's sealed epoch; the client must refresh
+    its view and retry (paper section 5.2.2).
+    """
+
+    code = "ESTALE"
+
+
+class ReadOnly(MalacologyError):
+    """Write attempted against a position that was already written.
+
+    Enforces the write-once contract of the shared-log storage
+    interface.
+    """
+
+    code = "EROFS"
+
+
+class NotPrimary(MalacologyError):
+    """An OSD received a client op for a placement group it does not lead.
+
+    Clients treat this as a signal to refresh the OSD map and resend.
+    The code must stay distinct from every other error's: clients
+    dispatch their retry strategy on it.
+    """
+
+    code = "ENOTPRIM"
+
+
+class DaemonDown(MalacologyError):
+    """The target daemon is not running (crashed or not yet booted)."""
+
+    code = "EHOSTDOWN"
+
+
+class CapRevoked(MalacologyError):
+    """A capability was revoked while an operation depended on it."""
+
+    code = "EINTR"
+
+
+class WrongMDS(MalacologyError):
+    """Request sent to an MDS that does not own the path ("client
+    mode" routing, Figure 11): the message encodes the owning rank as
+    ``rank=<n>``; clients refresh the MDS map and retry there."""
+
+    code = "EREMOTE"
+
+    def __init__(self, rank: int):
+        super().__init__(f"rank={rank}")
+        self.rank = rank
+
+
+class TryAgain(MalacologyError):
+    """The target subtree is frozen mid-migration; retry shortly."""
+
+    code = "EBUSY"
+
+
+class PolicyError(MalacologyError):
+    """A dynamically loaded policy or object class failed to compile/run.
+
+    Dynamic code (Mantle balancer policies, object interface classes) is
+    sandboxed; compilation errors and runtime faults inside the sandbox
+    surface as this error and are also recorded in the central cluster
+    log so operators do not need to visit individual daemons (paper
+    section 5.1.3).
+    """
+
+    code = "EBADEXEC"
+
+
+class QuorumLost(MalacologyError):
+    """The monitor cluster cannot form a majority; consensus stalls."""
+
+    code = "EAGAIN"
+
+
+#: Map of wire codes back to exception classes for RPC re-raising.
+#: Codes must be unique: a collision would silently rebuild one error
+#: type as another on the client side (guarded by the assertion below).
+_CODE_TO_ERROR = {
+    cls.code: cls
+    for cls in [
+        TimeoutError_,
+        NotFound,
+        AlreadyExists,
+        NotPermitted,
+        InvalidArgument,
+        StaleEpoch,
+        ReadOnly,
+        NotPrimary,
+        DaemonDown,
+        CapRevoked,
+        TryAgain,
+        PolicyError,
+        QuorumLost,
+    ]
+}
+
+# Every registered code must be unique — a collision silently rebuilds
+# one error type as another on the client side.
+assert len(_CODE_TO_ERROR) == 13, "wire code collision"
+
+
+def _rebuild_wrong_mds(code: str, message: str) -> "WrongMDS":
+    try:
+        rank = int(message.split("rank=", 1)[1])
+    except (IndexError, ValueError):
+        rank = 0
+    return WrongMDS(rank)
+
+
+def error_from_code(code: str, message: str) -> MalacologyError:
+    """Rebuild an exception from its wire representation.
+
+    Unknown codes degrade to the base :class:`MalacologyError` rather
+    than raising, so protocol evolution never crashes the transport.
+    """
+    if code == WrongMDS.code:
+        return _rebuild_wrong_mds(code, message)
+    return _CODE_TO_ERROR.get(code, MalacologyError)(message)

@@ -1,0 +1,23 @@
+"""Mantle: the programmable metadata load balancer (paper section 5.1).
+
+Mantle separates load-balancing *policy* from migration *mechanism*:
+administrators inject small scripts that decide **when** to migrate and
+**where/how much** load to send; the MDS provides measurement,
+partitioning, and migration.  Re-implemented on Malacology, Mantle
+inherits:
+
+* **versioning** — the active policy version lives in the MDS map,
+  kept consistent by the monitors' Paxos (section 5.1.1);
+* **durability** — policy source is stored in RADOS under an object
+  named by the version; balancers dereference the version with a
+  bounded read (half the balancing tick) and surface a Connection
+  Timeout error rather than stalling the MDS (section 5.1.2);
+* **centralized logging** — errors, warnings, and decisions go to the
+  monitor cluster log instead of per-server files (section 5.1.3).
+"""
+
+from repro.mantle.policy import MantlePolicy
+from repro.mantle.balancer import MantleBalancer, attach_balancers
+from repro.mantle import builtin
+
+__all__ = ["MantlePolicy", "MantleBalancer", "attach_balancers", "builtin"]

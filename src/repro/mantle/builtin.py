@@ -1,0 +1,183 @@
+"""Built-in balancer policy sources.
+
+These are *strings*, not Python modules: they travel through the
+Durability interface (RADOS objects), get versioned through the MDS
+map, and compile inside the MDS at tick time — exactly the paper's
+injected-Lua life cycle.
+
+The CephFS family reproduces the hard-coded balancer's three modes
+(Figure 10a): same structure, different load metric.  The Mantle
+family contains the sequencer-aware policies of section 6.2: greedy
+spill with half/full migration units, conservative receiver-aware
+``when()`` gating, and post-migration backoff (section 6.2.3).
+"""
+
+from __future__ import annotations
+
+#: Minimum decayed load before anyone considers migrating; keeps idle
+#: clusters quiet (CephFS has the same guard).
+_MIN_LOAD_GUARD = "min_load = 10.0"
+
+
+def _cephfs_mode(metric_expr: str) -> str:
+    """CephFS default balancer structure with a pluggable metric.
+
+    When: my metric exceeds the cluster average (with hysteresis).
+    Where: send the excess above average to underloaded ranks,
+    proportionally — the paper notes all three modes behave the same
+    on the sequencer workload because the structure dominates.
+    """
+    return f"""
+{_MIN_LOAD_GUARD}
+
+def metric(i):
+    return {metric_expr}
+
+def when():
+    if mds[whoami]["load"] < min_load:
+        return False
+    mine = metric(whoami)
+    mean = sum(metric(i) for i in range(len(mds))) / len(mds)
+    return mine > mean * 1.1
+
+def where():
+    mine = mds[whoami]["load"]
+    mean = total / len(mds)
+    excess = mine - mean
+    under = [i for i in range(len(mds))
+             if i != whoami and mds[i]["load"] < mean]
+    if not under:
+        return
+    share = excess / len(under)
+    for i in under:
+        targets[i] = share
+"""
+
+
+#: CephFS CPU mode: decisions keyed on (noisy) CPU utilization.
+CEPHFS_CPU = _cephfs_mode('mds[i]["cpu"]')
+
+#: CephFS workload mode: decisions keyed on request rate.
+CEPHFS_WORKLOAD = _cephfs_mode('mds[i]["req_rate"]')
+
+#: CephFS hybrid mode: half CPU, half workload.
+CEPHFS_HYBRID = _cephfs_mode(
+    '0.5 * mds[i]["cpu"] * 100.0 + 0.5 * mds[i]["req_rate"]')
+
+
+#: The paper's migration-unit one-liner (section 6.2.2): ship half the
+#: load on this server to the next rank.
+GREEDY_SPILL_HALF = f"""
+{_MIN_LOAD_GUARD}
+
+def when():
+    if mds[whoami]["load"] < min_load:
+        return False
+    if whoami + 1 >= len(mds):
+        return False
+    return mds[whoami]["load"] > 2.0 * mds[whoami + 1]["load"]
+
+def where():
+    targets[whoami + 1] = mds[whoami]["load"] / 2
+"""
+
+#: Same, but move ALL load off this server ("Proxy Mode (Full)" /
+#: migrating everything at a time step — remove the division by 2).
+GREEDY_SPILL_FULL = f"""
+{_MIN_LOAD_GUARD}
+
+def when():
+    if mds[whoami]["load"] < min_load:
+        return False
+    if whoami + 1 >= len(mds):
+        return False
+    return mds[whoami]["load"] > 2.0 * mds[whoami + 1]["load"]
+
+def where():
+    targets[whoami + 1] = mds[whoami]["load"]
+"""
+
+
+#: The custom sequencer balancer used for Figure 9's "Mantle" curve:
+#: conservative (section 6.2.3) — only the hottest rank acts, it waits
+#: for a receiver to be genuinely underloaded (below half the average)
+#: before each move, and a save_state cooldown separates consecutive
+#: migrations so the system settles in between.  This is why the
+#: Mantle curve stabilizes later than CephFS but ends higher.
+MANTLE_SEQUENCER = f"""
+{_MIN_LOAD_GUARD}
+
+def loads():
+    return [mds[i]["load"] for i in range(len(mds))]
+
+def receivers():
+    return [i for i in range(len(mds)) if mds[i]["load"] < avg * 0.5]
+
+def when():
+    if mds[whoami]["load"] < min_load:
+        return False
+    if mds[whoami]["load"] < max(loads()):
+        return False  # only the hottest rank migrates
+    if not receivers():
+        return False  # wait until someone is genuinely underloaded
+    if state.get("cooldown", 1) > 0:
+        state["cooldown"] = state.get("cooldown", 1) - 1
+        return False
+    state["cooldown"] = 1
+    return True
+
+def where():
+    ls = loads()
+    best = receivers()[0]
+    for i in receivers():
+        if ls[i] < ls[best]:
+            best = i
+    targets[best] = (ls[whoami] - avg) / 2
+"""
+
+
+def with_routing(source: str, mode: str) -> str:
+    """Extend a policy with a routing-mode decision (Figure 11 modes)."""
+    if mode not in ("client", "proxy"):
+        raise ValueError(f"bad routing mode {mode!r}")
+    return source + f"""
+
+def routing():
+    return "{mode}"
+"""
+
+
+def with_backoff(source: str, ticks: int) -> str:
+    """Wrap a policy's when() with a sustained-overload backoff.
+
+    After every positive decision the balancer waits ``ticks``
+    balancing intervals before deciding again (the save_state countdown
+    of section 6.2.3).
+    """
+    if ticks < 0:
+        raise ValueError("backoff ticks must be >= 0")
+    return source + f"""
+
+_inner_when = when
+
+def when():
+    left = state.get("backoff_left", 0)
+    if left > 0:
+        state["backoff_left"] = left - 1
+        return False
+    decision = _inner_when()
+    if decision:
+        state["backoff_left"] = {ticks}
+    return decision
+"""
+
+
+#: Catalog used by benches and the policy-publishing example.
+CATALOG = {
+    "cephfs-cpu": CEPHFS_CPU,
+    "cephfs-workload": CEPHFS_WORKLOAD,
+    "cephfs-hybrid": CEPHFS_HYBRID,
+    "greedy-spill-half": GREEDY_SPILL_HALF,
+    "greedy-spill-full": GREEDY_SPILL_FULL,
+    "mantle-sequencer": MANTLE_SEQUENCER,
+}

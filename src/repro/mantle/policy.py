@@ -1,0 +1,98 @@
+"""Mantle policy objects: sandboxed when()/where() balancing logic.
+
+A policy is *source code* (a string — it travels through RADOS and the
+MDS map, not a Python import).  The source executes in the restricted
+namespace of :func:`repro.objclass.loader.compile_policy_source` with
+the Mantle API injected:
+
+``mds``
+    List of per-rank load dicts (``load``, ``cpu``, ``req_rate``,
+    ``inodes``) — the paper's global ``mds`` table.
+``whoami``
+    This MDS's rank.
+``targets``
+    A list of floats, one per rank; ``where()`` assigns the amount of
+    load to ship to each rank, e.g. the paper's one-liner
+    ``targets[whoami + 1] = mds[whoami]["load"] / 2``.
+``state``
+    A dict persisted between invocations on the same MDS (the paper's
+    ``save_state``), used e.g. for post-migration backoff countdowns.
+``total`` / ``avg``
+    Cluster-wide load helpers.
+
+The policy must define ``when() -> bool``; ``where()`` is optional for
+policies that only ever decline.  A policy may also define
+``routing() -> "client" | "proxy"`` to pick the request routing mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.objclass.loader import compile_policy_source
+
+
+class MantlePolicy:
+    """One compiled balancing policy."""
+
+    def __init__(self, version: str, source: str):
+        self.version = version
+        self.source = source
+        # Compile once at load to reject broken uploads immediately;
+        # the namespace is rebuilt per decision with fresh metrics.
+        self._check_compiles()
+
+    def _check_compiles(self) -> None:
+        env = self._base_env(
+            mds=[{"load": 0.0, "cpu": 0.0, "req_rate": 0.0, "inodes": 0}],
+            whoami=0, state={})
+        namespace = compile_policy_source(self.version, self.source, env)
+        if not callable(namespace.get("when")):
+            raise PolicyError(
+                f"policy {self.version!r} must define when()")
+
+    @staticmethod
+    def _base_env(mds: List[Dict[str, Any]], whoami: int,
+                  state: Dict[str, Any]) -> Dict[str, Any]:
+        total = sum(row.get("load", 0.0) for row in mds)
+        return {
+            "mds": mds,
+            "whoami": whoami,
+            "targets": [0.0] * len(mds),
+            "state": state,
+            "total": total,
+            "avg": total / len(mds) if mds else 0.0,
+        }
+
+    def decide(self, mds: List[Dict[str, Any]], whoami: int,
+               state: Dict[str, Any]) -> Tuple[bool, List[float],
+                                               Optional[str]]:
+        """Run the policy; returns (migrate?, targets, routing mode).
+
+        ``state`` is mutated in place (that is the persistence
+        contract).  Any exception inside the sandbox surfaces as
+        :class:`PolicyError` for the balancer to log centrally.
+        """
+        env = self._base_env(mds, whoami, state)
+        namespace = compile_policy_source(self.version, self.source, env)
+        try:
+            go = bool(namespace["when"]())
+            targets = [0.0] * len(mds)
+            if go and callable(namespace.get("where")):
+                namespace["where"]()
+                raw = namespace["targets"]
+                targets = [max(0.0, float(raw[i])) for i in range(len(mds))]
+            routing = None
+            if callable(namespace.get("routing")):
+                routing = namespace["routing"]()
+                if routing not in ("client", "proxy"):
+                    raise PolicyError(
+                        f"policy {self.version!r} returned bad routing "
+                        f"mode {routing!r}")
+            return go, targets, routing
+        except PolicyError:
+            raise
+        except Exception as exc:
+            raise PolicyError(
+                f"policy {self.version!r} failed: {exc}") from exc

@@ -1,0 +1,32 @@
+"""The file-system metadata service (MDS) and its Malacology interfaces.
+
+Three of the five Malacology interfaces live here (paper section 4.3):
+
+* **Shared Resource** (§4.3.1) — the capability/lease machinery by
+  which clients obtain temporarily exclusive, cacheable access to
+  inode state, governed by programmable policies (best-effort, delay,
+  quota) that trade latency against throughput;
+* **File Type** (§4.3.2) — pluggable inode types with domain-specific
+  embedded state and server-side operations (ZLog's sequencer is an
+  inode of type ``sequencer``);
+* **Load Balancing** (§4.3.3) — the mechanisms (measure, partition,
+  migrate) that Mantle's injected policies drive.
+"""
+
+from repro.mds.inode import FileType, Inode, file_type_registry
+from repro.mds.capability import Capability, LeasePolicy, Locker
+from repro.mds.metrics import LoadTracker
+from repro.mds.server import MDS
+from repro.mds.client import FsClient
+
+__all__ = [
+    "FileType",
+    "Inode",
+    "file_type_registry",
+    "Capability",
+    "LeasePolicy",
+    "Locker",
+    "LoadTracker",
+    "MDS",
+    "FsClient",
+]

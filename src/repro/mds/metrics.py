@@ -1,0 +1,126 @@
+"""Load metrics the balancing policies consume (paper section 4.3.3).
+
+CephFS balancers use "metrics based on system state (e.g., CPU and
+memory utilization) and statistics collected by the cluster (e.g., the
+popularity of an inode)".  The tracker keeps exponentially decayed
+request counters per MDS and per inode, plus a synthetic CPU
+utilization derived from request processing time — the same inputs the
+paper's Figure 10(a) modes (CPU / workload / hybrid) switch between.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+
+class DecayCounter:
+    """Exponentially decayed event counter (CephFS's DecayCounter)."""
+
+    def __init__(self, halflife: float = 5.0):
+        if halflife <= 0:
+            raise ValueError("halflife must be positive")
+        self._lambda = math.log(2.0) / halflife
+        self._value = 0.0
+        self._last = 0.0
+
+    def hit(self, now: float, amount: float = 1.0) -> None:
+        self._decay_to(now)
+        self._value += amount
+
+    def get(self, now: float) -> float:
+        self._decay_to(now)
+        return self._value
+
+    def scale(self, factor: float) -> None:
+        """Scale the counter (used when splitting load across exports)."""
+        self._value *= factor
+
+    def _decay_to(self, now: float) -> None:
+        dt = now - self._last
+        if dt > 0:
+            self._value *= math.exp(-self._lambda * dt)
+            self._last = now
+
+
+class LoadTracker:
+    """Per-MDS load bookkeeping.
+
+    ``cpu`` is synthetic: the fraction of recent wall time spent in
+    request service (busy time through a decay counter), plus
+    jittery measurement noise injected by the caller if desired —
+    the paper notes CPU-based decisions are noisy and unpredictable,
+    which the CPU-mode benchmark reproduces by sampling this.
+    """
+
+    def __init__(self, halflife: float = 5.0):
+        self.requests = DecayCounter(halflife)
+        self.busy = DecayCounter(halflife)
+        #: Requests arriving from clients directly (not via a proxy
+        #: MDS); peers use this to detect spread client sessions.  Short
+        #: halflife: coherence pressure should vanish quickly once a
+        #: server's direct clients move away.
+        self.direct = DecayCounter(halflife=1.0)
+        self._inode_pop: Dict[int, DecayCounter] = {}
+        self._halflife = halflife
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, now: float, ino: int,
+                       service_time: float) -> None:
+        self.requests.hit(now)
+        self.busy.hit(now, service_time)
+        counter = self._inode_pop.get(ino)
+        if counter is None:
+            counter = self._inode_pop[ino] = DecayCounter(self._halflife)
+        counter.hit(now)
+
+    def record_direct(self, now: float) -> None:
+        self.direct.hit(now)
+
+    def forget_inode(self, ino: int) -> None:
+        self._inode_pop.pop(ino, None)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def request_rate(self, now: float) -> float:
+        """Decayed requests (roughly: recent requests per halflife)."""
+        return self.requests.get(now)
+
+    def cpu_util(self, now: float) -> float:
+        """Synthetic CPU utilization in [0, 1]."""
+        # busy holds decayed busy-seconds; normalize by the halflife
+        # window to approximate a utilization fraction.
+        return min(1.0, self.busy.get(now) / self._halflife)
+
+    def inode_popularity(self, now: float, ino: int) -> float:
+        counter = self._inode_pop.get(ino)
+        return counter.get(now) if counter else 0.0
+
+    def hottest_inodes(self, now: float,
+                       limit: int = 10) -> List[Tuple[int, float]]:
+        scored = sorted(
+            ((ino, c.get(now)) for ino, c in self._inode_pop.items()),
+            key=lambda pair: pair[1], reverse=True)
+        return scored[:limit]
+
+    def snapshot(self, now: float,
+                 cpu_noise_rng: Any = None) -> Dict[str, Any]:
+        """The per-MDS row exported to balancer policies (``mds[i]``).
+
+        ``cpu_noise_rng`` injects multiplicative sampling noise into the
+        CPU reading — utilization sampled from /proc is jittery, which
+        is why the paper finds CPU-based balancing decisions noisy and
+        unpredictable (section 6.2.1, Figure 10a's error bars).
+        """
+        cpu = self.cpu_util(now)
+        if cpu_noise_rng is not None:
+            cpu = min(1.0, cpu * cpu_noise_rng.uniform(0.7, 1.3))
+        return {
+            "load": self.request_rate(now),
+            "cpu": cpu,
+            "req_rate": self.request_rate(now),
+            "direct_rate": self.direct.get(now),
+        }

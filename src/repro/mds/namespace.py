@@ -1,0 +1,163 @@
+"""Path utilities and the in-memory namespace cache of one MDS.
+
+The cache is authoritative only for paths inside the subtrees this MDS
+owns (dynamic subtree partitioning).  Directory contents write through
+to RADOS (one object per directory, children in its omap), which is
+what makes metadata durable and lets an MDS rank be re-adopted after a
+failure by replaying from the object store.
+
+Simplification vs CephFS (documented in DESIGN.md): the cache is keyed
+by *path* rather than by a dentry tree.  Rename across directories is
+therefore not supported; none of the paper's workloads uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AlreadyExists, InvalidArgument, NotFound
+from repro.mds.inode import DIR, FILE, Inode
+
+
+def validate_path(path: str) -> str:
+    """Normalize and validate an absolute path."""
+    if not path.startswith("/"):
+        raise InvalidArgument(f"path must be absolute: {path!r}")
+    while "//" in path:
+        path = path.replace("//", "/")
+    if path != "/" and path.endswith("/"):
+        path = path[:-1]
+    for part in components(path):
+        if part in (".", ".."):
+            raise InvalidArgument(f"path may not contain {part!r}")
+    return path
+
+
+def components(path: str) -> List[str]:
+    if path == "/":
+        return []
+    return path.lstrip("/").split("/")
+
+
+def parent_of(path: str) -> str:
+    if path == "/":
+        raise InvalidArgument("root has no parent")
+    head, _, _ = path.rpartition("/")
+    return head or "/"
+
+
+def basename(path: str) -> str:
+    return path.rpartition("/")[2]
+
+
+def under(path: str, prefix: str) -> bool:
+    """Component-wise containment: is ``path`` inside ``prefix``?"""
+    if prefix == "/":
+        return True
+    return path == prefix or path.startswith(prefix + "/")
+
+
+def dir_object_id(path: str) -> str:
+    """RADOS object id holding a directory's children."""
+    return f"mdsdir:{path}"
+
+
+class NamespaceCache:
+    """Path-keyed inode cache with parent/child bookkeeping."""
+
+    def __init__(self) -> None:
+        self._inodes: Dict[str, Inode] = {}
+        self._children: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> Inode:
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise NotFound(f"no such file or directory: {path!r}")
+        return inode
+
+    def maybe_get(self, path: str) -> Optional[Inode]:
+        return self._inodes.get(path)
+
+    def has(self, path: str) -> bool:
+        return path in self._inodes
+
+    def listdir(self, path: str) -> List[str]:
+        inode = self.get(path)
+        if inode.kind != DIR:
+            raise InvalidArgument(f"not a directory: {path!r}")
+        return sorted(self._children.get(path, ()))
+
+    def path_of_ino(self, ino: int) -> Optional[str]:
+        for path, inode in self._inodes.items():
+            if inode.ino == ino:
+                return path
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, path: str, inode: Inode) -> None:
+        if path in self._inodes:
+            raise AlreadyExists(f"{path!r} already exists")
+        if path != "/":
+            parent = parent_of(path)
+            parent_inode = self.get(parent)
+            if parent_inode.kind != DIR:
+                raise InvalidArgument(f"not a directory: {parent!r}")
+            self._children.setdefault(parent, set()).add(basename(path))
+        self._inodes[path] = inode
+        if inode.kind == DIR:
+            self._children.setdefault(path, set())
+
+    def remove(self, path: str) -> Inode:
+        inode = self.get(path)
+        if inode.kind == DIR and self._children.get(path):
+            raise InvalidArgument(f"directory not empty: {path!r}")
+        del self._inodes[path]
+        self._children.pop(path, None)
+        if path != "/":
+            siblings = self._children.get(parent_of(path))
+            if siblings is not None:
+                siblings.discard(basename(path))
+        return inode
+
+    # ------------------------------------------------------------------
+    # Subtree operations (migration support)
+    # ------------------------------------------------------------------
+    def paths_under(self, prefix: str) -> List[str]:
+        return sorted(p for p in self._inodes if under(p, prefix))
+
+    def extract_subtree(self, prefix: str) -> Dict[str, dict]:
+        """Remove and return all state under ``prefix`` (export side).
+
+        The subtree root's *name* stays in its parent's child list as a
+        remote dentry — the parent directory still lists the entry (as
+        CephFS parents do); only authority and inode state move.
+        """
+        payload = {}
+        for path in self.paths_under(prefix):
+            payload[path] = self._inodes.pop(path).to_dict()
+            self._children.pop(path, None)
+        return payload
+
+    def install_subtree(self, entries: Dict[str, dict]) -> None:
+        """Adopt exported state (import side); overwrites stale copies."""
+        for path in sorted(entries):
+            inode = Inode.from_dict(entries[path])
+            self._inodes[path] = inode
+            if inode.kind == DIR:
+                self._children.setdefault(path, set())
+            if path != "/":
+                parent = parent_of(path)
+                if parent in self._inodes:
+                    self._children.setdefault(parent, set()).add(
+                        basename(path))
+
+    def inode_count(self) -> int:
+        return len(self._inodes)
+
+    def all_paths(self) -> List[str]:
+        return sorted(self._inodes)

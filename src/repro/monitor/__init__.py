@@ -1,0 +1,32 @@
+"""Monitor subsystem: Paxos consensus, cluster maps, service metadata.
+
+The monitor cluster is the consistency anchor of the storage system
+(paper section 4.1).  A Paxos quorum serializes *transactions* —
+cluster-map updates, service-metadata key-value writes, and cluster-log
+appends — into a single replicated log, then applies them to versioned
+maps.  Daemons and clients learn of new epochs through subscriptions and
+through epoch gossip piggybacked on regular traffic.
+
+Malacology exposes this machinery as the **Service Metadata interface**:
+a strongly-consistent key-value store in which higher-level services
+register, version, and propagate dynamic code (object interface classes
+and Mantle load-balancer policies).
+"""
+
+from repro.monitor.maps import ClusterMap, MDSMap, MonMap, OSDMap
+from repro.monitor.paxos import Acceptor, Proposal, ProposalId
+from repro.monitor.monitor import Monitor, MonitorClient
+from repro.monitor.cluster_log import ClusterLogEntry
+
+__all__ = [
+    "ClusterMap",
+    "MonMap",
+    "OSDMap",
+    "MDSMap",
+    "Acceptor",
+    "Proposal",
+    "ProposalId",
+    "Monitor",
+    "MonitorClient",
+    "ClusterLogEntry",
+]

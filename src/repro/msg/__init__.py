@@ -1,0 +1,12 @@
+"""Typed message envelopes and the daemon/RPC layer.
+
+All daemons in the system (monitors, OSDs, metadata servers, clients)
+derive from :class:`Daemon`, which provides registered RPC handlers,
+request/response correlation with timeouts, one-way casts, periodic
+tick processes, and crash/restart semantics used by failure injection.
+"""
+
+from repro.msg.message import Envelope
+from repro.msg.daemon import Daemon, RpcTimeout
+
+__all__ = ["Envelope", "Daemon", "RpcTimeout"]

@@ -1,0 +1,261 @@
+"""Daemon base class: RPC handlers, casts, tickers, crash/restart.
+
+Handler model
+-------------
+A handler registered with :meth:`Daemon.register_handler` receives
+``(src, payload)`` and may return:
+
+* a plain value — replied immediately;
+* a :class:`Future` — replied when it settles;
+* a generator — spawned as a process, replied when it completes.
+
+Raising a :class:`MalacologyError` (or failing the future/process with
+one) produces an error response which re-raises on the caller side with
+its wire code intact.  Any other exception is a programming error and
+propagates loudly through the simulator.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.errors import (
+    DaemonDown,
+    MalacologyError,
+    TimeoutError_,
+    error_from_code,
+)
+from repro.msg.message import CAST, REQUEST, RESPONSE, Envelope
+from repro.sim.event import Future, Timeout
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+#: Re-exported alias: what an RPC caller catches on deadline expiry.
+RpcTimeout = TimeoutError_
+
+
+class Daemon:
+    """A network-visible process with registered RPC methods.
+
+    Subclasses register handlers in ``__init__`` and may override
+    :meth:`on_crash` / :meth:`on_restart` to model volatile vs durable
+    state.  Volatile state must live on the instance and be reset in
+    ``on_crash``; anything that should survive belongs in RADOS or the
+    monitor store, never on the daemon — the same discipline the paper's
+    services follow (section 5.1.2).
+    """
+
+    def __init__(self, sim: Simulator, network: Network, name: str):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.alive = True
+        self._handlers: Dict[str, Callable[[str, Any], Any]] = {}
+        self._pending: Dict[int, Future] = {}
+        self._next_id = 0
+        self._procs: List[Process] = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_handler(self, method: str,
+                         fn: Callable[[str, Any], Any]) -> None:
+        if method in self._handlers:
+            raise ValueError(f"{self.name}: duplicate handler {method!r}")
+        self._handlers[method] = fn
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+    def call(self, dst: str, method: str, payload: Any = None,
+             timeout: Optional[float] = None) -> Future:
+        """Send a request; returns a future for the response value."""
+        if not self.alive:
+            fut = Future(name=f"{self.name}->{dst}:{method}")
+            fut.fail(DaemonDown(f"{self.name} is down"))
+            return fut
+        msg_id = self._next_id
+        self._next_id += 1
+        fut = Future(name=f"{self.name}->{dst}:{method}#{msg_id}")
+        self._pending[msg_id] = fut
+        self._post(Envelope(kind=REQUEST, src=self.name, dst=dst,
+                            method=method, msg_id=msg_id, payload=payload))
+        if timeout is not None:
+            self.sim.schedule(timeout, self._expire, msg_id)
+        return fut
+
+    def cast(self, dst: str, method: str, payload: Any = None) -> None:
+        """Fire-and-forget one-way message (gossip, notifications)."""
+        if not self.alive:
+            return
+        msg_id = self._next_id
+        self._next_id += 1
+        self._post(Envelope(kind=CAST, src=self.name, dst=dst,
+                            method=method, msg_id=msg_id, payload=payload))
+
+    def broadcast(self, dsts: List[str], method: str,
+                  payload: Any = None) -> None:
+        for dst in dsts:
+            self.cast(dst, method, payload)
+
+    def _post(self, env: Envelope) -> None:
+        # Deep-copy the payload so sender and receiver never alias
+        # mutable state; the wire is a value boundary.
+        env.payload = copy.deepcopy(env.payload)
+        self.stamp_epochs(env)
+        self.network.send(self.name, env.dst, env)
+
+    def stamp_epochs(self, env: Envelope) -> None:
+        """Hook: subclasses piggyback map epochs on outgoing messages."""
+
+    def _expire(self, msg_id: int) -> None:
+        fut = self._pending.pop(msg_id, None)
+        if fut is not None:
+            fut.fail_if_pending(
+                RpcTimeout(f"rpc #{msg_id} from {self.name} timed out"))
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    def deliver(self, envelope: Envelope) -> None:
+        if not self.alive:
+            return  # a dead daemon drops traffic; callers time out
+        self.observe_epochs(envelope)
+        if envelope.kind == RESPONSE:
+            self._on_response(envelope)
+        elif envelope.kind in (REQUEST, CAST):
+            self._on_request(envelope)
+        else:
+            raise ValueError(f"unknown envelope kind {envelope.kind!r}")
+
+    def observe_epochs(self, env: Envelope) -> None:
+        """Hook: subsystems react to piggybacked epochs (gossip pull)."""
+
+    def _on_response(self, env: Envelope) -> None:
+        fut = self._pending.pop(env.msg_id, None)
+        if fut is None:
+            return  # late reply after timeout; drop
+        if env.error is not None:
+            code, message = env.error
+            fut.fail_if_pending(error_from_code(code, message))
+        else:
+            fut.resolve_if_pending(env.payload)
+
+    def _on_request(self, env: Envelope) -> None:
+        handler = self._handlers.get(env.method)
+        if handler is None:
+            if env.kind == REQUEST:
+                self._reply_error(env, MalacologyError(
+                    f"{self.name}: no handler for {env.method!r}"))
+            return
+        try:
+            result = handler(env.src, env.payload)
+        except MalacologyError as exc:
+            if env.kind == REQUEST:
+                self._reply_error(env, exc)
+            return
+        if env.kind == CAST:
+            if inspect.isgenerator(result):
+                self.spawn(result, name=f"{self.name}:{env.method}")
+            return
+        if inspect.isgenerator(result):
+            proc = self.spawn(result, name=f"{self.name}:{env.method}")
+            proc.completion.add_callback(
+                lambda fut: self._reply_future(env, fut))
+        elif isinstance(result, Future):
+            result.add_callback(lambda fut: self._reply_future(env, fut))
+        else:
+            self._reply_value(env, result)
+
+    def _reply_future(self, env: Envelope, fut: Future) -> None:
+        if not self.alive:
+            return
+        if fut.failed:
+            err = fut.error
+            if isinstance(err, MalacologyError):
+                self._reply_error(env, err)
+            else:
+                # Programming error: surface it, don't mask as EIO.
+                raise err  # type: ignore[misc]
+        else:
+            self._reply_value(env, fut.result())
+
+    def _reply_value(self, env: Envelope, value: Any) -> None:
+        self._post(Envelope(kind=RESPONSE, src=self.name, dst=env.src,
+                            method=env.method, msg_id=env.msg_id,
+                            payload=value))
+
+    def _reply_error(self, env: Envelope, exc: MalacologyError) -> None:
+        self._post(Envelope(kind=RESPONSE, src=self.name, dst=env.src,
+                            method=env.method, msg_id=env.msg_id,
+                            error=(exc.code, str(exc))))
+
+    # ------------------------------------------------------------------
+    # Processes and timers
+    # ------------------------------------------------------------------
+    def spawn(self, body: Generator, name: str = "") -> Process:
+        """Start a process that dies with the daemon on crash."""
+        proc = self.sim.spawn(body, name=name or f"{self.name}:proc")
+        self._procs.append(proc)
+        if len(self._procs) > 64:
+            self._procs = [p for p in self._procs if not p.done]
+        return proc
+
+    def every(self, interval: float, fn: Callable[[], Any],
+              jitter: float = 0.0, name: str = "") -> Process:
+        """Run ``fn`` every ``interval`` simulated seconds while alive.
+
+        ``fn`` may return a generator, which is run to completion before
+        the next tick is scheduled (ticks never overlap — matching how
+        the MDS balancer tick works).
+        """
+        rng = self.sim.rng(f"ticker:{self.name}:{name}")
+
+        def _loop() -> Generator:
+            while True:
+                delay = interval
+                if jitter > 0.0:
+                    delay += rng.uniform(0.0, jitter)
+                yield Timeout(delay)
+                if not self.alive:
+                    return
+                result = fn()
+                if inspect.isgenerator(result):
+                    yield self.sim.spawn(result, name=f"{name}:tick")
+
+        return self.spawn(_loop(), name=name or f"{self.name}:ticker")
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Hard failure: kill processes, drop in-flight RPC state."""
+        if not self.alive:
+            return
+        self.alive = False
+        for proc in self._procs:
+            proc.cancel()
+        self._procs.clear()
+        for fut in self._pending.values():
+            fut.fail_if_pending(DaemonDown(f"{self.name} crashed"))
+        self._pending.clear()
+        self.on_crash()
+
+    def restart(self) -> None:
+        if self.alive:
+            return
+        self.alive = True
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Subclass hook: discard volatile state."""
+
+    def on_restart(self) -> None:
+        """Subclass hook: re-spawn tickers, reload durable state."""
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"{type(self).__name__}({self.name!r}, {state})"

@@ -1,0 +1,43 @@
+"""Wire envelope shared by all daemon-to-daemon traffic.
+
+Payloads are plain Python objects (dicts, tuples, dataclasses).  We
+deliberately deep-copy payloads at send time (see ``Daemon._post``) so
+daemons cannot accidentally share mutable state through the "network" —
+a classic simulation bug that would make protocols look more consistent
+than they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Envelope kinds.
+REQUEST = "request"
+RESPONSE = "response"
+CAST = "cast"
+
+
+@dataclass
+class Envelope:
+    """One message on the wire.
+
+    ``error`` is a (code, message) pair on failed responses; ``payload``
+    carries the request arguments or the successful response value.
+    """
+
+    kind: str
+    src: str
+    dst: str
+    method: str
+    msg_id: int
+    payload: Any = None
+    error: Optional[Tuple[str, str]] = None
+    #: Epoch piggybacking: daemons stamp outgoing messages with the map
+    #: epochs they know about, which is how peers discover they are
+    #: stale and trigger gossip fetches (paper section 4.4).
+    epochs: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (f"Envelope({self.kind} {self.src}->{self.dst} "
+                f"{self.method}#{self.msg_id})")

@@ -1,0 +1,28 @@
+"""Object interface classes — the Data I/O interface (paper section 4.2).
+
+Ceph lets developers install *object classes*: named groups of methods
+that execute on the OSD holding an object, transactionally composing
+native interfaces (bytestream, key-value omap, xattrs).  Malacology
+makes these classes dynamic: source code (Lua in the paper, sandboxed
+Python here) is embedded in the OSD cluster map, versioned through the
+monitor's consensus, gossiped peer-to-peer, and loaded into running
+OSDs without a restart.
+
+Layout:
+
+* :mod:`repro.objclass.context` — the transactional method context
+  handed to class methods (the "native interfaces").
+* :mod:`repro.objclass.loader` — restricted compilation of dynamic
+  class source.
+* :mod:`repro.objclass.registry` — per-OSD registry of loaded classes,
+  both compiled-in (bundled) and dynamic.
+* :mod:`repro.objclass.bundled` — classes shipped with the system,
+  including ``zlog`` (the CORFU storage interface), ``lock``, ``log``,
+  ``numops``, ``version``, and ``kvstore``.
+"""
+
+from repro.objclass.context import MethodContext
+from repro.objclass.loader import compile_class_source
+from repro.objclass.registry import ClassRegistry
+
+__all__ = ["MethodContext", "compile_class_source", "ClassRegistry"]

@@ -1,0 +1,41 @@
+"""Bundled ("compiled-in") object classes shipped with every OSD.
+
+These model the object classes that exist in the Ceph tree (Figure 2 /
+Table 1): logging, metadata/management, locking, and other categories.
+:func:`register_all` installs them into a fresh :class:`ClassRegistry`
+at OSD construction, mirroring static C++ class loading; dynamic
+classes then layer on top at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.objclass.bundled import (
+    cls_kvstore,
+    cls_lock,
+    cls_log,
+    cls_numops,
+    cls_refcount,
+    cls_snapshot,
+    cls_version,
+    cls_zlog,
+)
+from repro.objclass.registry import ClassRegistry
+
+#: name -> module; the name is what clients pass to exec ops.
+BUNDLED_CLASSES = {
+    "zlog": cls_zlog,
+    "lock": cls_lock,
+    "log": cls_log,
+    "numops": cls_numops,
+    "version": cls_version,
+    "kvstore": cls_kvstore,
+    "snapshot": cls_snapshot,
+    "refcount": cls_refcount,
+}
+
+
+def register_all(registry: ClassRegistry) -> None:
+    """Install every bundled class into ``registry``."""
+    for name, module in BUNDLED_CLASSES.items():
+        registry.register_bundled(name, module.METHODS,
+                                  category=module.CATEGORY)

@@ -1,0 +1,98 @@
+"""Cooperative lock class — grants clients exclusive/shared access.
+
+Mirrors Ceph's ``cls_lock`` (the "Locking" category in Table 1): locks
+live in an object xattr, carry an owner cookie and an optional expiry,
+and can be broken explicitly after expiry.  Lease expiry uses the
+context's simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import AlreadyExists, InvalidArgument, NotFound, NotPermitted
+from repro.objclass.context import MethodContext
+
+CATEGORY = "locking"
+
+_LOCK_XATTR = "lock.state"
+
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+
+
+def _state(ctx: MethodContext) -> Dict[str, Any]:
+    return ctx.xattr_get(_LOCK_XATTR, {"mode": None, "holders": {}})
+
+
+def _prune_expired(ctx: MethodContext, state: Dict[str, Any]) -> None:
+    holders = state["holders"]
+    for owner in [o for o, h in holders.items()
+                  if h["expires"] is not None and h["expires"] <= ctx.now]:
+        del holders[owner]
+    if not holders:
+        state["mode"] = None
+
+
+def lock(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    """Acquire; ``owner`` required, ``mode`` exclusive|shared,
+    ``duration`` seconds (None = until released)."""
+    owner = args.get("owner")
+    mode = args.get("mode", EXCLUSIVE)
+    duration = args.get("duration")
+    if not owner:
+        raise InvalidArgument("lock requires an owner")
+    if mode not in (EXCLUSIVE, SHARED):
+        raise InvalidArgument(f"bad lock mode {mode!r}")
+    ctx.create(exclusive=False)
+    state = _state(ctx)
+    _prune_expired(ctx, state)
+    holders = state["holders"]
+    if owner in holders:
+        pass  # re-acquire refreshes the lease below
+    elif state["mode"] == EXCLUSIVE or (holders and mode == EXCLUSIVE):
+        raise AlreadyExists(f"{ctx.oid} locked by {sorted(holders)}")
+    expires = None if duration is None else ctx.now + duration
+    holders[owner] = {"expires": expires}
+    state["mode"] = mode
+    ctx.xattr_set(_LOCK_XATTR, state)
+
+
+def unlock(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    owner = args.get("owner")
+    state = _state(ctx)
+    if owner not in state["holders"]:
+        raise NotFound(f"{owner!r} does not hold a lock on {ctx.oid}")
+    del state["holders"][owner]
+    if not state["holders"]:
+        state["mode"] = None
+    ctx.xattr_set(_LOCK_XATTR, state)
+
+
+def break_lock(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    """Forcibly remove an *expired* holder's lock (admin recovery)."""
+    owner = args.get("owner")
+    state = _state(ctx)
+    holder = state["holders"].get(owner)
+    if holder is None:
+        raise NotFound(f"{owner!r} holds no lock on {ctx.oid}")
+    if holder["expires"] is None or holder["expires"] > ctx.now:
+        raise NotPermitted(f"lock of {owner!r} has not expired")
+    del state["holders"][owner]
+    if not state["holders"]:
+        state["mode"] = None
+    ctx.xattr_set(_LOCK_XATTR, state)
+
+
+def info(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    state = _state(ctx)
+    _prune_expired(ctx, state)
+    return {"mode": state["mode"], "holders": sorted(state["holders"])}
+
+
+METHODS = {
+    "lock": lock,
+    "unlock": unlock,
+    "break_lock": break_lock,
+    "info": info,
+}

@@ -1,0 +1,65 @@
+"""Timestamped entry log class (Table 1's "Logging" category).
+
+Mirrors Ceph's ``cls_log``, used in production for e.g. geographically
+distributing replica logs: entries are appended with a timestamp key
+and listed/trimmed by range.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import InvalidArgument
+from repro.objclass.context import MethodContext
+
+CATEGORY = "logging"
+
+_SEQ_XATTR = "log.seq"
+
+
+def _entry_key(ts: float, seq: int) -> str:
+    return f"entry.{ts:020.6f}.{seq:012d}"
+
+
+def add(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one entry: {"payload": ..., "ts": optional}."""
+    if "payload" not in args:
+        raise InvalidArgument("log.add requires a payload")
+    ts = args.get("ts", ctx.now)
+    ctx.create(exclusive=False)
+    seq = ctx.xattr_get(_SEQ_XATTR, 0)
+    ctx.xattr_set(_SEQ_XATTR, seq + 1)
+    key = _entry_key(ts, seq)
+    ctx.omap_set(key, {"ts": ts, "seq": seq, "payload": args["payload"]})
+    return {"seq": seq}
+
+
+def list_entries(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """List entries after cursor ``start`` (exclusive), up to ``max``."""
+    items = ctx.omap_list(start=args.get("start", ""),
+                          max_items=args.get("max", 100),
+                          prefix="entry.")
+    return {
+        "entries": [v for _, v in items],
+        "cursor": items[-1][0] if items else args.get("start", ""),
+        "truncated": len(items) == args.get("max", 100),
+    }
+
+
+def trim(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop entries with key <= ``to_cursor``."""
+    to_cursor = args.get("to_cursor")
+    if not to_cursor:
+        raise InvalidArgument("log.trim requires to_cursor")
+    victims = [k for k, _ in ctx.omap_list(prefix="entry.")
+               if k <= to_cursor]
+    for k in victims:
+        ctx.omap_del(k)
+    return {"trimmed": len(victims)}
+
+
+METHODS = {
+    "add": add,
+    "list": list_entries,
+    "trim": trim,
+}

@@ -1,0 +1,57 @@
+"""Remote numeric operations on omap values (Ceph's ``cls_numops``).
+
+Lets clients atomically add/subtract/multiply numbers held in an
+object's omap without a read-modify-write round trip — the classic
+"push computation to the data" example of the Data I/O interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import InvalidArgument
+from repro.objclass.context import MethodContext
+
+CATEGORY = "metadata"
+
+
+def _get_number(ctx: MethodContext, key: str) -> float:
+    if not ctx.omap_has(key):
+        return 0
+    value = ctx.omap_get(key)
+    if not isinstance(value, (int, float)):
+        raise InvalidArgument(f"omap key {key!r} is not numeric")
+    return value
+
+
+def _apply(ctx: MethodContext, args: Dict[str, Any], op) -> Dict[str, Any]:
+    key = args.get("key")
+    delta = args.get("value")
+    if not key or not isinstance(delta, (int, float)):
+        raise InvalidArgument("numops require key and numeric value")
+    ctx.create(exclusive=False)
+    result = op(_get_number(ctx, key), delta)
+    ctx.omap_set(key, result)
+    return {"value": result}
+
+
+def add(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return _apply(ctx, args, lambda a, b: a + b)
+
+
+def sub(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return _apply(ctx, args, lambda a, b: a - b)
+
+
+def mul(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return _apply(ctx, args, lambda a, b: a * b)
+
+
+def get(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    key = args.get("key")
+    if not key:
+        raise InvalidArgument("numops.get requires key")
+    return {"value": _get_number(ctx, key)}
+
+
+METHODS = {"add": add, "sub": sub, "mul": mul, "get": get}

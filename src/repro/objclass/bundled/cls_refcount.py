@@ -1,0 +1,49 @@
+"""Reference counting class (Ceph's ``cls_refcount`` — Table 1 "Other").
+
+Objects shared by multiple logical owners (e.g. deduplicated chunks)
+carry a set of reference tags; the object is removed when the last
+reference is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import InvalidArgument, NotFound
+from repro.objclass.context import MethodContext
+
+CATEGORY = "other"
+
+_REFS_XATTR = "refcount.refs"
+
+
+def get_refs(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"refs": sorted(ctx.xattr_get(_REFS_XATTR, []))}
+
+
+def take(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    tag = args.get("tag")
+    if not tag:
+        raise InvalidArgument("refcount.take requires a tag")
+    ctx.create(exclusive=False)
+    refs = set(ctx.xattr_get(_REFS_XATTR, []))
+    refs.add(tag)
+    ctx.xattr_set(_REFS_XATTR, sorted(refs))
+    return {"count": len(refs)}
+
+
+def put(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop a reference; removes the object at zero references."""
+    tag = args.get("tag")
+    refs = set(ctx.xattr_get(_REFS_XATTR, []))
+    if tag not in refs:
+        raise NotFound(f"no reference {tag!r} on {ctx.oid}")
+    refs.discard(tag)
+    if refs:
+        ctx.xattr_set(_REFS_XATTR, sorted(refs))
+        return {"count": len(refs), "removed": False}
+    ctx.remove()
+    return {"count": 0, "removed": True}
+
+
+METHODS = {"get_refs": get_refs, "take": take, "put": put}

@@ -1,0 +1,86 @@
+"""Object snapshot class (Table 1's "Snapshots in the block device").
+
+Snapshots capture the object's user-visible state (bytestream, xattrs,
+and non-snapshot omap keys) under a name; rollback restores it
+atomically — the whole capture/restore runs inside one transactional
+method context, so a half-taken snapshot can never be observed.
+Snapshots live in reserved ``snap.`` omap keys of the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import AlreadyExists, InvalidArgument, NotFound
+from repro.objclass.context import MethodContext
+
+CATEGORY = "metadata"
+
+_PREFIX = "snap."
+
+
+def _snap_key(name: str) -> str:
+    if not name or "." in name:
+        raise InvalidArgument(f"bad snapshot name {name!r}")
+    return _PREFIX + name
+
+
+def _capture(ctx: MethodContext) -> Dict[str, Any]:
+    omap = {k: v for k, v in ctx.omap_list()
+            if not k.startswith(_PREFIX)}
+    xattrs = {}
+    obj, _ = ctx.outcome()
+    if obj is not None:
+        xattrs = dict(obj.xattrs)
+    return {
+        "data": ctx.read() if ctx.exists else b"",
+        "omap": omap,
+        "xattrs": xattrs,
+    }
+
+
+def create(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    key = _snap_key(args.get("name", ""))
+    if ctx.omap_has(key):
+        raise AlreadyExists(f"snapshot {args['name']!r} exists")
+    ctx.create(exclusive=False)
+    ctx.omap_set(key, _capture(ctx))
+    return {"snapshots": _names(ctx)}
+
+
+def rollback(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    key = _snap_key(args.get("name", ""))
+    if not ctx.omap_has(key):
+        raise NotFound(f"no snapshot {args['name']!r}")
+    snap = ctx.omap_get(key)
+    ctx.write_full(bytes(snap["data"]))
+    for k, _ in ctx.omap_list():
+        if not k.startswith(_PREFIX):
+            ctx.omap_del(k)
+    for k, v in snap["omap"].items():
+        ctx.omap_set(k, v)
+    for k, v in snap["xattrs"].items():
+        ctx.xattr_set(k, v)
+
+
+def remove(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    key = _snap_key(args.get("name", ""))
+    if not ctx.omap_has(key):
+        raise NotFound(f"no snapshot {args['name']!r}")
+    ctx.omap_del(key)
+
+
+def list_snaps(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"snapshots": _names(ctx)}
+
+
+def _names(ctx: MethodContext) -> List[str]:
+    return [k[len(_PREFIX):] for k, _ in ctx.omap_list(prefix=_PREFIX)]
+
+
+METHODS = {
+    "create": create,
+    "rollback": rollback,
+    "remove": remove,
+    "list": list_snaps,
+}

@@ -1,0 +1,58 @@
+"""Object versioning class (Ceph's ``cls_version``).
+
+Maintains an application-visible version in an xattr with
+compare-and-fail guards, so optimistic concurrency can be composed
+into larger transactions (Table 1's "Metadata" category).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import InvalidArgument, StaleEpoch
+from repro.objclass.context import MethodContext
+
+CATEGORY = "metadata"
+
+_VER_XATTR = "user.version"
+
+
+def read(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"version": ctx.xattr_get(_VER_XATTR, 0)}
+
+
+def bump(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    ctx.create(exclusive=False)
+    version = ctx.xattr_get(_VER_XATTR, 0) + 1
+    ctx.xattr_set(_VER_XATTR, version)
+    return {"version": version}
+
+
+def set_version(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    version = args.get("version")
+    if not isinstance(version, int) or version < 0:
+        raise InvalidArgument(f"bad version {version!r}")
+    ctx.create(exclusive=False)
+    ctx.xattr_set(_VER_XATTR, version)
+    return {"version": version}
+
+
+def check(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Fail with ESTALE unless the stored version equals ``expect``.
+
+    Composed before other ops in a transaction, this aborts the whole
+    op list when the caller's view is stale.
+    """
+    expect = args.get("expect")
+    actual = ctx.xattr_get(_VER_XATTR, 0)
+    if actual != expect:
+        raise StaleEpoch(f"version is {actual}, expected {expect}")
+    return {"version": actual}
+
+
+METHODS = {
+    "read": read,
+    "bump": bump,
+    "set": set_version,
+    "check": check,
+}

@@ -1,0 +1,154 @@
+"""The CORFU storage interface (paper section 5.2.2).
+
+Storage devices in CORFU expose an intelligent *write-once, random
+read* interface over log positions, fenced by epochs:
+
+* every client I/O carries an epoch tag; requests tagged with an epoch
+  older than the object's sealed epoch are rejected with ``ESTALE``
+  (the client must refresh its view and retry);
+* ``seal`` atomically installs a new epoch and returns the maximum log
+  position written — the primitive the sequencer-recovery protocol
+  uses to recompute its counter;
+* ``write`` is write-once: a written or filled position can never be
+  overwritten (``EROFS``);
+* ``fill`` marks a hole as junk so readers do not wait on it; it never
+  clobbers real data;
+* ``trim`` marks a position as garbage-collected.
+
+One log is striped over many objects; each object runs this class
+independently (see :mod:`repro.zlog.striping`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import (
+    InvalidArgument,
+    NotFound,
+    ReadOnly,
+    StaleEpoch,
+)
+from repro.objclass.context import MethodContext
+
+CATEGORY = "logging"
+
+#: Omap key layout: fixed-width so omap order == position order.
+_KEY_WIDTH = 20
+
+#: Position states.
+WRITTEN = "written"
+FILLED = "filled"
+TRIMMED = "trimmed"
+UNWRITTEN = "unwritten"
+
+_EPOCH_XATTR = "zlog.epoch"
+_MAXPOS_XATTR = "zlog.max_pos"
+
+
+def _key(pos: int) -> str:
+    return f"pos.{pos:0{_KEY_WIDTH}d}"
+
+
+def _check_epoch(ctx: MethodContext, args: Dict[str, Any]) -> int:
+    epoch = args.get("epoch")
+    if epoch is None:
+        raise InvalidArgument("zlog ops require an epoch tag")
+    sealed = ctx.xattr_get(_EPOCH_XATTR, 0)
+    if epoch < sealed:
+        raise StaleEpoch(
+            f"epoch {epoch} < sealed epoch {sealed} on {ctx.oid}")
+    return epoch
+
+
+def _pos_of(args: Dict[str, Any]) -> int:
+    pos = args.get("pos")
+    if not isinstance(pos, int) or pos < 0:
+        raise InvalidArgument(f"bad log position {pos!r}")
+    return pos
+
+
+def seal(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Install a new epoch; return the max written position.
+
+    Sealing with an epoch <= the current sealed epoch is rejected, so
+    concurrent recoveries serialize: only the recovery holding the
+    highest epoch proceeds.
+    """
+    epoch = args.get("epoch")
+    if epoch is None:
+        raise InvalidArgument("seal requires an epoch")
+    sealed = ctx.xattr_get(_EPOCH_XATTR, 0)
+    if epoch <= sealed:
+        raise StaleEpoch(f"seal epoch {epoch} <= sealed {sealed}")
+    ctx.create(exclusive=False)
+    ctx.xattr_set(_EPOCH_XATTR, epoch)
+    return {"max_pos": ctx.xattr_get(_MAXPOS_XATTR, -1)}
+
+
+def write(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    """Write-once append of ``data`` at ``pos``."""
+    _check_epoch(ctx, args)
+    pos = _pos_of(args)
+    key = _key(pos)
+    if ctx.omap_has(key):
+        state = ctx.omap_get(key)["state"]
+        raise ReadOnly(f"position {pos} already {state} on {ctx.oid}")
+    ctx.omap_set(key, {"state": WRITTEN, "data": args.get("data")})
+    if pos > ctx.xattr_get(_MAXPOS_XATTR, -1):
+        ctx.xattr_set(_MAXPOS_XATTR, pos)
+
+
+def read(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Random read of one position.
+
+    Unwritten positions return ENOENT (the reader may retry or fill);
+    filled and trimmed positions report their state without data.
+    """
+    _check_epoch(ctx, args)
+    pos = _pos_of(args)
+    key = _key(pos)
+    if not ctx.omap_has(key):
+        raise NotFound(f"position {pos} unwritten on {ctx.oid}")
+    entry = ctx.omap_get(key)
+    if entry["state"] == WRITTEN:
+        return {"state": WRITTEN, "data": entry["data"]}
+    return {"state": entry["state"]}
+
+
+def fill(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    """Mark a hole as junk; idempotent; never overwrites data."""
+    _check_epoch(ctx, args)
+    pos = _pos_of(args)
+    key = _key(pos)
+    if ctx.omap_has(key):
+        state = ctx.omap_get(key)["state"]
+        if state == FILLED:
+            return  # idempotent
+        raise ReadOnly(f"cannot fill {state} position {pos}")
+    ctx.omap_set(key, {"state": FILLED})
+    if pos > ctx.xattr_get(_MAXPOS_XATTR, -1):
+        ctx.xattr_set(_MAXPOS_XATTR, pos)
+
+
+def trim(ctx: MethodContext, args: Dict[str, Any]) -> None:
+    """Mark a position as reclaimable; its data is dropped."""
+    _check_epoch(ctx, args)
+    pos = _pos_of(args)
+    ctx.omap_set(_key(pos), {"state": TRIMMED})
+
+
+def max_position(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Max written/filled position on this object (no seal required)."""
+    _check_epoch(ctx, args)
+    return {"max_pos": ctx.xattr_get(_MAXPOS_XATTR, -1)}
+
+
+METHODS = {
+    "seal": seal,
+    "write": write,
+    "read": read,
+    "fill": fill,
+    "trim": trim,
+    "max_position": max_position,
+}

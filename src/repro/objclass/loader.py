@@ -1,0 +1,112 @@
+"""Restricted compilation of dynamic object-class source.
+
+The paper embeds a Lua VM in the OSD; the reproduction embeds a
+restricted Python namespace.  What matters for programmability is
+preserved: class source is a *string* that travels through the monitor
+map, compiles inside a running daemon without restart, runs against the
+sandboxed method context only, and compilation or runtime faults are
+contained (surfacing as :class:`PolicyError`, never crashing the OSD —
+"certain types of coding mistakes can be handled gracefully",
+section 4.2).
+
+Source convention::
+
+    def my_method(ctx, args):
+        ctx.omap_set("counter", ctx.xattr_get("base", 0) + args["n"])
+        return {"ok": True}
+
+    METHODS = {"my_method": my_method}
+
+Every callable in the module-level ``METHODS`` dict becomes an RPC-able
+class method.  The namespace offers a curated builtin set; imports,
+file, and attribute escapes are unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro import errors
+from repro.errors import PolicyError
+
+#: Builtins available to dynamic class / policy code.  Deliberately has
+#: no ``__import__``, ``open``, ``eval``, ``exec``, ``getattr``, or
+#: ``type`` — the sandbox is for containing mistakes, matching the
+#: paper's threat model ("does not prevent deployment of malicious
+#: code" but handles coding errors gracefully).
+SAFE_BUILTINS: Dict[str, Any] = {
+    "abs": abs, "all": all, "any": any, "bool": bool, "bytes": bytes,
+    "dict": dict, "divmod": divmod, "enumerate": enumerate,
+    "filter": filter, "float": float, "format": format,
+    "frozenset": frozenset, "int": int, "isinstance": isinstance,
+    "len": len, "list": list, "map": map, "max": max, "min": min,
+    "next": next, "pow": pow, "range": range, "repr": repr,
+    "reversed": reversed, "round": round, "set": set, "sorted": sorted,
+    "str": str, "sum": sum, "tuple": tuple, "zip": zip,
+    # Exceptions class code may raise/catch.
+    "Exception": Exception, "ValueError": ValueError,
+    "KeyError": KeyError, "IndexError": IndexError,
+    "TypeError": TypeError, "StopIteration": StopIteration,
+    "True": True, "False": False, "None": None,
+}
+
+#: Storage-stack errors the sandbox may raise to signal outcomes; these
+#: cross the wire with their codes (ENOENT, EEXIST, ESTALE, ...).
+SANDBOX_ERRORS = {
+    name: getattr(errors, name)
+    for name in ("MalacologyError", "NotFound", "AlreadyExists",
+                 "NotPermitted", "InvalidArgument", "StaleEpoch",
+                 "ReadOnly")
+}
+
+
+def compile_class_source(name: str,
+                         source: str) -> Dict[str, Callable[..., Any]]:
+    """Compile class source, returning its method table.
+
+    Raises :class:`PolicyError` on syntax errors, missing/invalid
+    ``METHODS``, or any exception escaping module execution.
+    """
+    namespace: Dict[str, Any] = {"__builtins__": dict(SAFE_BUILTINS)}
+    namespace.update(SANDBOX_ERRORS)
+    try:
+        code = compile(source, filename=f"<objclass:{name}>", mode="exec")
+    except SyntaxError as exc:
+        raise PolicyError(f"class {name!r} failed to compile: {exc}") from exc
+    try:
+        exec(code, namespace)  # noqa: S102 - sandboxed namespace
+    except Exception as exc:
+        raise PolicyError(f"class {name!r} failed during load: {exc}") from exc
+    methods = namespace.get("METHODS")
+    if not isinstance(methods, dict) or not methods:
+        raise PolicyError(
+            f"class {name!r} must define a non-empty METHODS dict")
+    for mname, fn in methods.items():
+        if not callable(fn):
+            raise PolicyError(
+                f"class {name!r} method {mname!r} is not callable")
+    return dict(methods)
+
+
+def compile_policy_source(name: str, source: str,
+                          extra_env: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile arbitrary sandboxed policy code (Mantle balancers).
+
+    Unlike object classes, a policy exposes whatever names the caller's
+    convention requires; the caller inspects the returned namespace.
+    ``extra_env`` injects the Mantle API (``mds`` table, ``whoami``,
+    ``targets``, ...) before execution.
+    """
+    namespace: Dict[str, Any] = {"__builtins__": dict(SAFE_BUILTINS)}
+    namespace.update(SANDBOX_ERRORS)
+    namespace.update(extra_env)
+    try:
+        code = compile(source, filename=f"<policy:{name}>", mode="exec")
+    except SyntaxError as exc:
+        raise PolicyError(
+            f"policy {name!r} failed to compile: {exc}") from exc
+    try:
+        exec(code, namespace)  # noqa: S102 - sandboxed namespace
+    except Exception as exc:
+        raise PolicyError(f"policy {name!r} failed to run: {exc}") from exc
+    return namespace

@@ -1,0 +1,246 @@
+"""librados-like client: map-driven routing with retry-on-stale.
+
+Clients compute object placement themselves from the cached OSD map
+and talk straight to the primary.  A ``NotPrimary`` rejection, daemon
+failure, or timeout triggers a map refresh from the monitors and a
+retry — the standard RADOS client loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.errors import (
+    DaemonDown,
+    MalacologyError,
+    NotPrimary,
+    TimeoutError_,
+)
+from repro.monitor.monitor import MonitorClient
+from repro.rados.placement import locate
+from repro.sim.event import Timeout
+
+
+class RadosClient(MonitorClient):
+    """Mixin adding object I/O to a daemon (requires MonitorClient init).
+
+    All methods are generators meant for ``yield from`` inside daemon
+    processes (or driven by ``testing.run_script``).
+    """
+
+    OSD_TIMEOUT = 2.0
+    OSD_RETRIES = 8
+    RETRY_BACKOFF = 0.1
+
+    # ------------------------------------------------------------------
+    # Core op submission
+    # ------------------------------------------------------------------
+    def rados_op(self: Any, pool: str, oid: str,
+                 ops: List[Dict[str, Any]],
+                 epoch: Optional[int] = None) -> Generator:
+        """Apply an op list to one object; returns per-op results."""
+        last_error: Optional[MalacologyError] = None
+        for attempt in range(self.OSD_RETRIES):
+            osdmap = self.cached_maps.get("osd")
+            if osdmap is None or attempt > 0:
+                osdmap = yield from self.mon_get_map("osd")
+            try:
+                _, acting = locate(osdmap, pool, oid)
+            except MalacologyError as exc:
+                last_error = exc
+                yield Timeout(self.RETRY_BACKOFF)
+                continue
+            if not acting:
+                last_error = DaemonDown(f"no OSD up for {pool}/{oid}")
+                yield Timeout(self.RETRY_BACKOFF)
+                continue
+            try:
+                results = yield self.call(
+                    acting[0], "osd_op",
+                    {"pool": pool, "oid": oid, "ops": ops, "epoch": epoch},
+                    timeout=self.OSD_TIMEOUT)
+                return results
+            except (NotPrimary, DaemonDown, TimeoutError_) as exc:
+                last_error = exc
+                yield Timeout(self.RETRY_BACKOFF)
+        raise last_error or DaemonDown(f"osd op on {pool}/{oid} failed")
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def rados_create(self: Any, pool: str, oid: str,
+                     exclusive: bool = True) -> Generator:
+        yield from self.rados_op(pool, oid,
+                                 [{"op": "create", "exclusive": exclusive}])
+
+    def rados_write(self: Any, pool: str, oid: str, offset: int,
+                    data: bytes) -> Generator:
+        yield from self.rados_op(pool, oid,
+                                 [{"op": "write", "offset": offset,
+                                   "data": data}])
+
+    def rados_write_full(self: Any, pool: str, oid: str,
+                         data: bytes) -> Generator:
+        yield from self.rados_op(pool, oid,
+                                 [{"op": "write_full", "data": data}])
+
+    def rados_append(self: Any, pool: str, oid: str,
+                     data: bytes) -> Generator:
+        results = yield from self.rados_op(pool, oid,
+                                           [{"op": "append", "data": data}])
+        return results[0]
+
+    def rados_read(self: Any, pool: str, oid: str, offset: int = 0,
+                   length: Optional[int] = None) -> Generator:
+        results = yield from self.rados_op(
+            pool, oid, [{"op": "read", "offset": offset, "length": length}])
+        return results[0]
+
+    def rados_stat(self: Any, pool: str, oid: str) -> Generator:
+        results = yield from self.rados_op(pool, oid, [{"op": "stat"}])
+        return results[0]
+
+    def rados_remove(self: Any, pool: str, oid: str) -> Generator:
+        yield from self.rados_op(pool, oid, [{"op": "remove"}])
+
+    def rados_omap_set(self: Any, pool: str, oid: str, key: str,
+                       value: Any) -> Generator:
+        yield from self.rados_op(pool, oid,
+                                 [{"op": "omap_set", "key": key,
+                                   "value": value}])
+
+    def rados_omap_get(self: Any, pool: str, oid: str,
+                       key: str) -> Generator:
+        results = yield from self.rados_op(pool, oid,
+                                           [{"op": "omap_get", "key": key}])
+        return results[0]
+
+    def rados_exec(self: Any, pool: str, oid: str, cls: str, method: str,
+                   args: Optional[Dict[str, Any]] = None,
+                   epoch: Optional[int] = None) -> Generator:
+        """Invoke an object-class method — the Data I/O entry point."""
+        results = yield from self.rados_op(
+            pool, oid,
+            [{"op": "exec", "cls": cls, "method": method,
+              "args": args or {}}],
+            epoch=epoch)
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Watch / notify
+    # ------------------------------------------------------------------
+    def init_watch_client(self: Any) -> None:
+        """Enable watch-event delivery; call once from ``__init__``.
+
+        Registered watch callbacks receive ``(pool, oid, payload,
+        notifier)``.
+        """
+        self._watch_callbacks = {}
+        if "watch_event" not in self._handlers:
+            self.register_handler("watch_event", self._h_watch_event)
+
+    def _h_watch_event(self: Any, src: str, payload: Any) -> None:
+        key = (payload["pool"], payload["oid"])
+        callback = getattr(self, "_watch_callbacks", {}).get(key)
+        if callback is not None:
+            callback(payload["pool"], payload["oid"],
+                     payload["payload"], payload["notifier"])
+
+    def _watch_op(self: Any, method: str, pool: str,
+                  oid: str) -> Generator:
+        last_error: Optional[MalacologyError] = None
+        for attempt in range(self.OSD_RETRIES):
+            osdmap = self.cached_maps.get("osd")
+            if osdmap is None or attempt > 0:
+                osdmap = yield from self.mon_get_map("osd")
+            _, acting = locate(osdmap, pool, oid)
+            if not acting:
+                yield Timeout(self.RETRY_BACKOFF)
+                continue
+            try:
+                yield self.call(acting[0], method,
+                                {"pool": pool, "oid": oid},
+                                timeout=self.OSD_TIMEOUT)
+                return acting[0]
+            except (NotPrimary, DaemonDown, TimeoutError_) as exc:
+                last_error = exc
+                yield Timeout(self.RETRY_BACKOFF)
+        raise last_error or DaemonDown(f"{method} on {pool}/{oid} failed")
+
+    def rados_watch(self: Any, pool: str, oid: str,
+                    callback: Any) -> Generator:
+        """Subscribe to notifications on one object.
+
+        Watches live on the object's primary and are volatile across
+        OSD failover; callers should re-watch on error, as librados
+        applications do.
+        """
+        if not hasattr(self, "_watch_callbacks"):
+            raise RuntimeError("call init_watch_client() first")
+        self._watch_callbacks[(pool, oid)] = callback
+        primary = yield from self._watch_op("osd_watch", pool, oid)
+        return primary
+
+    def rados_unwatch(self: Any, pool: str, oid: str) -> Generator:
+        getattr(self, "_watch_callbacks", {}).pop((pool, oid), None)
+        yield from self._watch_op("osd_unwatch", pool, oid)
+
+    def rados_notify(self: Any, pool: str, oid: str,
+                     payload: Any = None) -> Generator:
+        """Notify all watchers of an object; returns watcher count."""
+        last_error: Optional[MalacologyError] = None
+        for attempt in range(self.OSD_RETRIES):
+            osdmap = self.cached_maps.get("osd")
+            if osdmap is None or attempt > 0:
+                osdmap = yield from self.mon_get_map("osd")
+            _, acting = locate(osdmap, pool, oid)
+            if not acting:
+                yield Timeout(self.RETRY_BACKOFF)
+                continue
+            try:
+                count = yield self.call(acting[0], "osd_notify",
+                                        {"pool": pool, "oid": oid,
+                                         "payload": payload},
+                                        timeout=self.OSD_TIMEOUT)
+                return count
+            except (NotPrimary, DaemonDown, TimeoutError_) as exc:
+                last_error = exc
+                yield Timeout(self.RETRY_BACKOFF)
+        raise last_error or DaemonDown(f"notify on {pool}/{oid} failed")
+
+    # ------------------------------------------------------------------
+    # Pool administration
+    # ------------------------------------------------------------------
+    def rados_create_pool(self: Any, name: str, size: int = 2,
+                          pg_num: int = 64,
+                          ec: Optional[Dict[str, int]] = None) -> Generator:
+        """Create a pool; pass ``ec={"k": 2, "m": 1}`` for erasure coding.
+
+        EC pools store any object's bytestream as k data + m parity
+        shards (tolerating m lost shards) but — like Ceph's — do not
+        support omap or object-class execution.
+        """
+        action = {"action": "create_pool", "name": name,
+                  "size": size, "pg_num": pg_num}
+        if ec is not None:
+            action["ec"] = {"k": int(ec["k"]), "m": int(ec["m"])}
+        yield from self.mon_submit([{
+            "op": "map_update", "kind": "osd", "actions": [action]}])
+        yield from self.mon_get_map("osd")
+
+    # ------------------------------------------------------------------
+    # Interface installation (used by core.DataIOInterface)
+    # ------------------------------------------------------------------
+    def rados_install_interface(self: Any, name: str, version: int,
+                                source: str,
+                                category: str = "other") -> Generator:
+        """Publish a dynamic object class cluster-wide via the OSD map."""
+        yield from self.mon_submit([{
+            "op": "map_update", "kind": "osd",
+            "actions": [{"action": "set_interface", "name": name,
+                         "version": version, "source": source,
+                         "category": category}]}])
+
+    def rados_ls_interfaces(self: Any) -> Generator:
+        osdmap = yield from self.mon_get_map("osd")
+        return dict(osdmap.interfaces)

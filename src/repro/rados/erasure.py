@@ -1,0 +1,175 @@
+"""Erasure coding: the k+m codec used by EC pools (paper section 4.4).
+
+RADOS protects data "using common techniques such as erasure coding,
+replication, and scrubbing".  This module is the codec half: split an
+object's bytestream into ``k`` data shards plus ``m`` parity shards
+such that any ``k`` of the ``k+m`` shards reconstruct the original.
+
+The implementation is a systematic XOR/Vandermonde-free scheme:
+
+* ``m = 1`` — single parity shard = XOR of the data shards (RAID-5
+  style), tolerating any one lost shard;
+* ``m >= 2`` — parity shard ``j`` is the XOR of data shards weighted
+  by positions over GF(256) (a Reed-Solomon-style Vandermonde code
+  with generators ``1, 2, 3, ...``), tolerating any ``m`` lost shards.
+
+GF(256) arithmetic is implemented directly (AES polynomial 0x11B); no
+external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidArgument
+
+# ----------------------------------------------------------------------
+# GF(256) arithmetic (log/antilog tables, generator 3, poly 0x11B)
+# ----------------------------------------------------------------------
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("no inverse of 0 in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def _mul_slice(chunk: bytes, coeff: int) -> bytearray:
+    if coeff == 1:
+        return bytearray(chunk)
+    out = bytearray(len(chunk))
+    if coeff == 0:
+        return out
+    log_c = _LOG[coeff]
+    for i, byte in enumerate(chunk):
+        if byte:
+            out[i] = _EXP[_LOG[byte] + log_c]
+    return out
+
+
+def _xor_into(dst: bytearray, src: bytes) -> None:
+    for i, byte in enumerate(src):
+        dst[i] ^= byte
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class ErasureCodec:
+    """Systematic k+m erasure codec over GF(256)."""
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 1:
+            raise InvalidArgument(f"bad EC profile k={k} m={m}")
+        if k + m > 255:
+            raise InvalidArgument("k+m must be <= 255")
+        self.k = k
+        self.m = m
+        # Vandermonde rows: parity j uses coefficients g_j^i where the
+        # generators are distinct non-zero elements 1..m over data
+        # index i.  (For m=1 this degenerates to plain XOR.)
+        self._coeff = [[_EXP[(j * i) % 255] for i in range(k)]
+                       for j in range(m)]
+
+    # -- encoding -------------------------------------------------------
+    def shard_size(self, length: int) -> int:
+        return (length + self.k - 1) // self.k if length else 0
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """Return k data shards + m parity shards (padded equal size)."""
+        size = self.shard_size(len(data))
+        shards: List[bytes] = []
+        for i in range(self.k):
+            chunk = data[i * size:(i + 1) * size]
+            shards.append(chunk.ljust(size, b"\x00"))
+        for j in range(self.m):
+            parity = bytearray(size)
+            for i in range(self.k):
+                _xor_into(parity, _mul_slice(shards[i],
+                                             self._coeff[j][i]))
+            shards.append(bytes(parity))
+        return shards
+
+    # -- decoding -------------------------------------------------------
+    def decode(self, shards: Dict[int, bytes], length: int) -> bytes:
+        """Reconstruct the original from any k of the k+m shards.
+
+        ``shards`` maps shard index -> bytes; raises if fewer than k
+        shards are present.
+        """
+        if length == 0:
+            return b""
+        size = self.shard_size(length)
+        have = {i: s for i, s in shards.items() if s is not None}
+        if len(have) < self.k:
+            raise InvalidArgument(
+                f"need {self.k} shards to reconstruct, have {len(have)}")
+        missing_data = [i for i in range(self.k) if i not in have]
+        if missing_data:
+            self._reconstruct_data(have, missing_data, size)
+        data = b"".join(bytes(have[i]) for i in range(self.k))
+        return data[:length]
+
+    def _reconstruct_data(self, have: Dict[int, bytes],
+                          missing: List[int], size: int) -> None:
+        # Build the linear system over the available parity rows.
+        parity_rows = [j for j in range(self.m)
+                       if (self.k + j) in have]
+        if len(parity_rows) < len(missing):
+            raise InvalidArgument("not enough parity to reconstruct")
+        rows = parity_rows[: len(missing)]
+        # For each chosen parity row: known = parity XOR contributions
+        # of present data shards; unknowns are the missing shards.
+        rhs: List[bytearray] = []
+        matrix: List[List[int]] = []
+        for j in rows:
+            acc = bytearray(have[self.k + j])
+            for i in range(self.k):
+                if i in have:
+                    _xor_into(acc, _mul_slice(have[i],
+                                              self._coeff[j][i]))
+            rhs.append(acc)
+            matrix.append([self._coeff[j][i] for i in missing])
+        # Gaussian elimination over GF(256) on (matrix | rhs).
+        n = len(missing)
+        for col in range(n):
+            pivot = next((r for r in range(col, n)
+                          if matrix[r][col] != 0), None)
+            if pivot is None:
+                raise InvalidArgument("singular reconstruction matrix")
+            matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+            rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+            inv = gf_inv(matrix[col][col])
+            matrix[col] = [gf_mul(v, inv) for v in matrix[col]]
+            rhs[col] = _mul_slice(bytes(rhs[col]), inv)
+            for r in range(n):
+                if r != col and matrix[r][col]:
+                    factor = matrix[r][col]
+                    matrix[r] = [a ^ gf_mul(factor, b)
+                                 for a, b in zip(matrix[r], matrix[col])]
+                    _xor_into(rhs[r], _mul_slice(bytes(rhs[col]),
+                                                 factor))
+        for idx, shard_index in enumerate(missing):
+            have[shard_index] = bytes(rhs[idx])

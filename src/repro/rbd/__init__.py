@@ -1,0 +1,13 @@
+"""A block-device image layer over RADOS (the "block" API of Figure 1).
+
+Malacology sits *alongside* the traditional user-facing APIs — file,
+block, object (Figure 1).  This package is the block one: an RBD-like
+thin-provisioned image striped over fixed-size RADOS objects, with its
+metadata maintained by the bundled ``kvstore``/``version`` object
+classes (an in-tree consumer of the Data I/O interface, like the
+"Snapshots in the block device" example in Table 1).
+"""
+
+from repro.rbd.image import Image
+
+__all__ = ["Image"]

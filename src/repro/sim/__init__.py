@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate substitute for the paper's physical
+cluster: daemons (monitors, OSDs, metadata servers) run as cooperative
+generator-based processes over a simulated clock, exchanging messages
+through a latency-modelled network.  Runs are fully deterministic for a
+given seed, which makes every benchmark and test reproducible.
+"""
+
+from repro.sim.event import Future, Timeout
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import (
+    FixedLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+from repro.sim.failure import FailureInjector
+
+__all__ = [
+    "Future",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "Network",
+    "FixedLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "FailureInjector",
+]

@@ -1,0 +1,120 @@
+"""Failure injection: crashes, restarts, message loss, and flapping.
+
+The evaluation's recovery claims (sequencer recovery, Mantle policy
+durability across MDS failure, OSD re-replication) are only credible if
+failures are injectable and deterministic.  The injector works purely
+through public daemon/network hooks so it cannot reach into state a
+real fault could not destroy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Protocol, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+class Crashable(Protocol):
+    """Daemons expose crash/restart so faults go through one interface."""
+
+    name: str
+
+    def crash(self) -> None: ...
+
+    def restart(self) -> None: ...
+
+
+class FailureInjector:
+    """Deterministic fault scheduler for a simulation run.
+
+    All methods may be called before ``sim.run``; faults fire at their
+    scheduled simulated times.  The injector records every fault it
+    fires in :attr:`log` so tests can assert on exact fault timing.
+    """
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self._drop_rates: Dict[Tuple[str, str], float] = {}
+        self._rng = sim.rng("failures")
+        self.log: List[Tuple[float, str, str]] = []
+        self.network.drop_hook = self._should_drop
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash_at(self, t: float, daemon: Crashable) -> None:
+        """Hard-stop ``daemon`` at simulated time ``t``."""
+        self.sim.schedule(max(0.0, t - self.sim.now), self._crash, daemon)
+
+    def restart_at(self, t: float, daemon: Crashable) -> None:
+        """Bring ``daemon`` back at simulated time ``t``."""
+        self.sim.schedule(max(0.0, t - self.sim.now), self._restart, daemon)
+
+    def flap(self, daemon: Crashable, down_at: float,
+             up_at: float) -> None:
+        """Crash then restart — the classic transient failure."""
+        if up_at <= down_at:
+            raise ValueError("restart must come after crash")
+        self.crash_at(down_at, daemon)
+        self.restart_at(up_at, daemon)
+
+    def _crash(self, daemon: Crashable) -> None:
+        self.log.append((self.sim.now, "crash", daemon.name))
+        daemon.crash()
+
+    def _restart(self, daemon: Crashable) -> None:
+        self.log.append((self.sim.now, "restart", daemon.name))
+        daemon.restart()
+
+    # ------------------------------------------------------------------
+    # Message loss
+    # ------------------------------------------------------------------
+    def set_loss(self, src: str, dst: str, rate: float) -> None:
+        """Drop messages src->dst with the given probability.
+
+        Unidirectional by design: asymmetric loss is the nastier and
+        more realistic case for lease protocols.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0,1], got {rate}")
+        if rate == 0.0:
+            self._drop_rates.pop((src, dst), None)
+        else:
+            self._drop_rates[(src, dst)] = rate
+
+    def set_loss_everywhere(self, rate: float) -> None:
+        """Uniform background loss on every link (wildcard entry)."""
+        self.set_loss("*", "*", rate)
+
+    def clear_loss(self) -> None:
+        self._drop_rates.clear()
+
+    def _should_drop(self, src: str, dst: str) -> bool:
+        rate = self._drop_rates.get(
+            (src, dst), self._drop_rates.get(("*", "*"), 0.0))
+        if rate <= 0.0:
+            return False
+        dropped = self._rng.random() < rate
+        if dropped:
+            self.log.append((self.sim.now, "drop", f"{src}->{dst}"))
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Partitions (thin wrappers so faults are logged in one place)
+    # ------------------------------------------------------------------
+    def partition_at(self, t: float, a: str, b: str) -> None:
+        self.sim.schedule(max(0.0, t - self.sim.now),
+                          self._partition, a, b)
+
+    def heal_at(self, t: float, a: str, b: str) -> None:
+        self.sim.schedule(max(0.0, t - self.sim.now), self._heal, a, b)
+
+    def _partition(self, a: str, b: str) -> None:
+        self.log.append((self.sim.now, "partition", f"{a}|{b}"))
+        self.network.partition(a, b)
+
+    def _heal(self, a: str, b: str) -> None:
+        self.log.append((self.sim.now, "heal", f"{a}|{b}"))
+        self.network.heal(a, b)

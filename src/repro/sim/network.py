@@ -1,0 +1,172 @@
+"""Simulated network: named endpoints, latency models, partitions.
+
+The network is the only channel between daemons — no shared state —
+which keeps the simulated protocols honest about what information a
+real Ceph daemon would have.  Delivery is per-message independent
+(messages may reorder, as UDP-like semantics; protocols that need
+ordering, e.g. Paxos, carry their own sequence numbers, as the real
+implementations do).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything that can receive a message envelope."""
+
+    name: str
+
+    def deliver(self, envelope: Any) -> None: ...
+
+
+class LatencyModel:
+    """Base class: draws a one-way delay for a (src, dst) message."""
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant one-way delay; useful for analytically checkable tests."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("negative latency")
+        self.delay = delay
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [lo, hi]."""
+
+    def __init__(self, lo: float, hi: float):
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad latency range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay typical of a busy datacenter LAN.
+
+    Parameterized by the median delay and a shape ``sigma``; the long
+    tail is what produces the large latency outliers the paper observes
+    at the 99.999th percentile (Figure 7).  An optional ``cap`` bounds
+    pathological draws so experiments terminate.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.5,
+                 cap: Optional[float] = None):
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        delay = rng.lognormvariate(self.mu, self.sigma)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+
+#: Default LAN profile: 100us median with a modest tail, loopback-free.
+def lan_latency() -> LatencyModel:
+    return LogNormalLatency(median=100e-6, sigma=0.35, cap=5e-3)
+
+
+class Network:
+    """Message fabric connecting named endpoints.
+
+    Supports bidirectional partitions and probabilistic loss (via the
+    failure injector).  Messages to unregistered or partitioned
+    endpoints are silently dropped — exactly what a real network does —
+    so timeout handling in the protocols gets genuinely exercised.
+    """
+
+    def __init__(self, sim: Simulator,
+                 latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or lan_latency()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._partitions: Set[frozenset] = set()
+        self._rng = sim.rng("network")
+        #: Optional hook deciding per-message drops: fn(src, dst) -> bool.
+        self.drop_hook: Optional[Callable[[str, str], bool]] = None
+        # Counters for observability and the propagation benchmarks.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"endpoint {endpoint.name!r} already registered")
+        self._endpoints[endpoint.name] = endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def knows(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic in both directions between ``a`` and ``b``."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, envelope: Any) -> None:
+        """Queue ``envelope`` for delivery to ``dst`` after sampled latency.
+
+        Never raises on an unreachable destination: loss is a fact of
+        networks and callers must rely on timeouts, not exceptions.
+        """
+        self.messages_sent += 1
+        if self.partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        if self.drop_hook is not None and self.drop_hook(src, dst):
+            self.messages_dropped += 1
+            return
+        if src == dst:
+            delay = 1e-6  # loopback: negligible but nonzero for causality
+        else:
+            delay = self.latency.sample(src, dst, self._rng)
+        self.sim.schedule(delay, self._deliver, dst, envelope)
+
+    def _deliver(self, dst: str, envelope: Any) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        endpoint.deliver(envelope)

@@ -1,0 +1,17 @@
+"""Shared utilities: statistics, histograms, and small helpers."""
+
+from repro.util.stats import (
+    Cdf,
+    OnlineStats,
+    Histogram,
+    ThroughputSeries,
+    percentile,
+)
+
+__all__ = [
+    "Cdf",
+    "OnlineStats",
+    "Histogram",
+    "ThroughputSeries",
+    "percentile",
+]

@@ -1,0 +1,13 @@
+"""Workload generators and measurement plumbing for the evaluation."""
+
+from repro.workloads.generators import (
+    LeaseContentionWorkload,
+    SequencerWorkload,
+    interleaving_runs,
+)
+
+__all__ = [
+    "SequencerWorkload",
+    "LeaseContentionWorkload",
+    "interleaving_runs",
+]

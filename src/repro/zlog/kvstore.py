@@ -1,0 +1,91 @@
+"""A replicated dictionary over the shared log (Tango-style).
+
+The paper motivates shared logs as the substrate for distributed data
+structures and elastic databases (section 5.2, citing Tango/Hyder).
+``LogBackedDict`` is that pattern in miniature and powers one of the
+example applications: every mutation is an entry appended to a ZLog;
+every replica reaches the same state by replaying the log in position
+order.  Strong reads sync to the tail first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import InvalidArgument, NotFound
+from repro.zlog.log import ZLog
+
+
+class LogBackedDict:
+    """One replica of the log-backed dictionary."""
+
+    def __init__(self, log: ZLog):
+        self.log = log
+        self._state: Dict[str, Any] = {}
+        self._applied = 0  # next position to replay
+
+    # ------------------------------------------------------------------
+    # Mutations (write through the log)
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> Generator:
+        pos = yield from self.log.append(
+            {"op": "put", "key": key, "value": value})
+        return pos
+
+    def delete(self, key: str) -> Generator:
+        pos = yield from self.log.append({"op": "del", "key": key})
+        return pos
+
+    # ------------------------------------------------------------------
+    # Reads (replay to the tail for linearizability)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Generator:
+        yield from self.sync()
+        if key not in self._state:
+            raise NotFound(f"key {key!r} not in log-backed dict")
+        return self._state[key]
+
+    def snapshot(self) -> Generator:
+        yield from self.sync()
+        return dict(self._state)
+
+    def local_get(self, key: str, default: Any = None) -> Any:
+        """Read the possibly-stale local materialization (no sync)."""
+        return self._state.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def sync(self) -> Generator:
+        """Replay the log up to the current tail."""
+        tail = yield from self.log.tail()
+        while self._applied < tail:
+            pos = self._applied
+            try:
+                entry = yield from self.log.read(pos)
+            except NotFound:
+                # A hole: a client got a position but hasn't written
+                # (or died).  Fill it so replay can proceed — the CORFU
+                # hole-filling discipline.
+                from repro.errors import ReadOnly
+
+                try:
+                    yield from self.log.fill(pos)
+                    entry = {"state": "filled"}
+                except ReadOnly:
+                    # The writer won the race after our failed read.
+                    entry = yield from self.log.read(pos)
+            self._apply(pos, entry)
+            self._applied = pos + 1
+
+    def _apply(self, pos: int, entry: Dict[str, Any]) -> None:
+        if entry.get("state") != "written":
+            return  # filled or trimmed: no-op
+        cmd = entry["data"]
+        op = cmd.get("op")
+        if op == "put":
+            self._state[cmd["key"]] = cmd["value"]
+        elif op == "del":
+            self._state.pop(cmd["key"], None)
+        else:
+            raise InvalidArgument(f"unknown log command {op!r} at {pos}")

@@ -1,0 +1,57 @@
+"""Sequencer recovery: the CORFU seal protocol (paper section 5.2.2).
+
+When the sequencer's state is lost or suspect (MDS failover, cap-holder
+death, suspected split), any client can run recovery:
+
+1. bump the log's epoch in Service Metadata (consensus-backed, so
+   concurrent recoveries serialize on the version);
+2. ``seal`` every stripe object with the new epoch — from this moment
+   every I/O tagged with an older epoch is rejected (``ESTALE``), which
+   invalidates stale clients *without* any communication to them;
+3. collect the max written position across stripe objects;
+4. restart the sequencer counter just past it.
+
+Because the sequencer does not resume until sealing completes, there is
+no race with in-flight appends, and reads never block during recovery
+(the log is immutable once written).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import StaleEpoch
+from repro.zlog.log import ZLog, epoch_key, sequencer_path
+
+
+def recover_log(log: ZLog) -> Generator:
+    """Run seal-based recovery; returns the new (epoch, tail).
+
+    Safe to run concurrently with appenders (they get fenced) and with
+    other recoveries (the loser's seal is rejected as stale and it
+    re-reads the winner's epoch).
+    """
+    c = log.client
+    entry = yield from c.mon_kv_get(epoch_key(log.name))
+    new_epoch = entry["value"] + 1
+    yield from c.mon_kv_put(epoch_key(log.name), new_epoch)
+
+    max_pos = -1
+    for oid in log.layout.all_objects():
+        try:
+            result = yield from c.rados_exec(
+                log.layout.pool, oid, "zlog", "seal",
+                {"epoch": new_epoch})
+        except StaleEpoch:
+            # A concurrent recovery installed a higher epoch; defer to
+            # it — our seal (and sequencer reset) must not proceed.
+            yield from log.refresh_epoch()
+            tail = yield from c.seq_read(sequencer_path(log.name))
+            return log.epoch, tail
+        max_pos = max(max_pos, result["max_pos"])
+
+    new_tail = max_pos + 1
+    yield from c.fs_exec(sequencer_path(log.name), "set_min_tail",
+                         {"tail": new_tail})
+    log.epoch = new_epoch
+    return new_epoch, new_tail

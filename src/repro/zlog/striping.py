@@ -1,0 +1,50 @@
+"""Log position -> RADOS object mapping.
+
+CORFU stripes consecutive log positions round-robin across a set of
+storage objects so appends proceed in parallel on many OSDs.  The
+layout is a pure function shared by clients and recovery: position
+``p`` of a log with stripe width ``w`` lives on object
+``<log>.stripe.<p mod w>``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import InvalidArgument
+
+
+class StripeLayout:
+    """Deterministic position-to-object mapping for one log."""
+
+    def __init__(self, log_name: str, width: int = 4,
+                 pool: str = "data"):
+        if not log_name or "/" in log_name:
+            raise InvalidArgument(f"bad log name {log_name!r}")
+        if width < 1:
+            raise InvalidArgument(f"stripe width must be >= 1, got {width}")
+        self.log_name = log_name
+        self.width = width
+        self.pool = pool
+
+    def object_of(self, position: int) -> str:
+        if position < 0:
+            raise InvalidArgument(f"negative log position {position}")
+        return f"zlog.{self.log_name}.stripe.{position % self.width}"
+
+    def all_objects(self) -> List[str]:
+        """Every stripe object — what seal/recovery must touch."""
+        return [f"zlog.{self.log_name}.stripe.{i}"
+                for i in range(self.width)]
+
+    def to_dict(self) -> dict:
+        return {"log_name": self.log_name, "width": self.width,
+                "pool": self.pool}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StripeLayout":
+        return cls(d["log_name"], width=d["width"], pool=d["pool"])
+
+    def __repr__(self) -> str:
+        return (f"StripeLayout({self.log_name!r}, width={self.width}, "
+                f"pool={self.pool!r})")

@@ -1,0 +1,137 @@
+"""Optimistic-concurrency transactions over the shared log.
+
+Section 7's future work proposes "an elastic cloud database" built on
+the Malacology interfaces; the shared-log literature the paper builds
+on (Tango, Hyder — citations [7]-[10]) shows the recipe: serialize
+*transaction intents* through the log and let every replica decide
+commit/abort deterministically by replay.
+
+:class:`TransactionalTable` implements that recipe on ZLog:
+
+* a transaction record carries its read set (key -> version observed)
+  and its write set (key -> new value);
+* replaying replicas commit the record iff every read version still
+  matches — first-committer-wins optimistic concurrency;
+* because the log is totally ordered and replay is deterministic,
+  every replica reaches the same commit/abort verdict with no
+  coordination beyond the log itself.
+
+``transact`` retries aborted transactions with fresh reads, giving
+serializable read-modify-write without locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import InvalidArgument, NotFound, TryAgain
+from repro.zlog.log import ZLog
+
+
+class TransactionalTable:
+    """One replica of a log-serialized, optimistically-concurrent table."""
+
+    MAX_TXN_RETRIES = 16
+
+    def __init__(self, log: ZLog):
+        self.log = log
+        #: key -> (value, version); version = log position of the txn
+        #: that last wrote the key.
+        self._state: Dict[str, Tuple[Any, int]] = {}
+        self._applied = 0
+        #: log position -> commit verdict, so a transaction's outcome
+        #: can be read even after later writers overwrite its keys.
+        self._verdicts: Dict[int, bool] = {}
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def sync(self) -> Generator:
+        """Replay committed log entries up to the tail."""
+        tail = yield from self.log.tail()
+        while self._applied < tail:
+            pos = self._applied
+            try:
+                entry = yield from self.log.read(pos)
+            except NotFound:
+                from repro.errors import ReadOnly
+
+                try:
+                    yield from self.log.fill(pos)
+                    entry = {"state": "filled"}
+                except ReadOnly:
+                    entry = yield from self.log.read(pos)
+            self._apply(pos, entry)
+            self._applied = pos + 1
+
+    def _apply(self, pos: int, entry: Dict[str, Any]) -> None:
+        if entry.get("state") != "written":
+            return
+        txn = entry["data"]
+        if txn.get("kind") != "txn":
+            return  # foreign record on a shared log: ignore
+        for key, version in txn["reads"].items():
+            current = self._state.get(key, (None, -1))[1]
+            if current != version:
+                self.aborts += 1
+                self._verdicts[pos] = False
+                return  # conflict: a later writer got in first
+        for key, value in txn["writes"].items():
+            self._state[key] = (value, pos)
+        self.commits += 1
+        self._verdicts[pos] = True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Generator:
+        yield from self.sync()
+        if key not in self._state:
+            raise NotFound(f"key {key!r} not in table")
+        return self._state[key][0]
+
+    def snapshot(self) -> Generator:
+        yield from self.sync()
+        return {k: v for k, (v, _) in self._state.items()}
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def transact(self, read_keys: List[str],
+                 update: Callable[[Dict[str, Any]], Dict[str, Any]]
+                 ) -> Generator:
+        """Serializable read-modify-write.
+
+        ``update`` receives {key: value-or-None for read_keys} and
+        returns the write set.  Appends the intent, replays to the
+        intent's position, and checks the verdict; aborted attempts
+        retry with fresh reads (bounded).  Returns the committing log
+        position.
+        """
+        if not callable(update):
+            raise InvalidArgument("update must be callable")
+        for _ in range(self.MAX_TXN_RETRIES):
+            yield from self.sync()
+            reads = {k: self._state.get(k, (None, -1))[1]
+                     for k in read_keys}
+            values = {k: self._state.get(k, (None, -1))[0]
+                      for k in read_keys}
+            writes = update(dict(values))
+            if not isinstance(writes, dict) or not writes:
+                raise InvalidArgument(
+                    "update must return a non-empty write dict")
+            pos = yield from self.log.append(
+                {"kind": "txn", "reads": reads, "writes": writes})
+            # Replay through our own record to learn the verdict.
+            yield from self.sync()
+            if self._verdicts.get(pos):
+                return pos
+        raise TryAgain("transaction kept conflicting; giving up")
+
+    def blind_put(self, key: str, value: Any) -> Generator:
+        """Unconditional write (no read set — never aborts)."""
+        pos = yield from self.log.append(
+            {"kind": "txn", "reads": {}, "writes": {key: value}})
+        return pos

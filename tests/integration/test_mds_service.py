@@ -1,0 +1,136 @@
+"""Integration tests for the metadata service on a full cluster."""
+
+import pytest
+
+from repro.core import MalacologyCluster, SharedResourceInterface
+from repro.errors import AlreadyExists, NotFound
+from repro.mds.server import METADATA_POOL
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return MalacologyCluster.build(osds=3, mdss=1, seed=31)
+
+
+def test_mkdir_create_stat_readdir(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/projects"))
+    c.do(c.admin.fs_create("/projects/readme"))
+    st = c.do(c.admin.fs_stat("/projects/readme"))
+    assert st["kind"] == "file"
+    assert c.do(c.admin.fs_readdir("/projects")) == ["readme"]
+    assert c.do(c.admin.fs_readdir("/")) == ["projects"]
+
+
+def test_duplicate_create_conflicts(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/dups"))
+    c.do(c.admin.fs_create("/dups/f"))
+    with pytest.raises(AlreadyExists):
+        c.do(c.admin.fs_create("/dups/f"))
+
+
+def test_unlink_removes(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/trash"))
+    c.do(c.admin.fs_create("/trash/victim"))
+    c.do(c.admin.fs_unlink("/trash/victim"))
+    with pytest.raises(NotFound):
+        c.do(c.admin.fs_stat("/trash/victim"))
+
+
+def test_directories_persist_in_rados(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/durable"))
+    c.do(c.admin.fs_create("/durable/file1"))
+    c.run(1.0)
+    record = c.do(c.admin.rados_omap_get(
+        METADATA_POOL, "mdsdir:/durable", "file1"))
+    assert record["kind"] == "file"
+
+
+def test_sequencer_round_trip_mode(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/seqs"))
+    c.do(c.admin.fs_create("/seqs/log1", file_type="sequencer"))
+    shared = SharedResourceInterface(c.admin)
+    c.do(shared.set_lease_policy("round-trip"))
+    positions = [c.do(c.admin.seq_next("/seqs/log1")) for _ in range(5)]
+    assert positions == [0, 1, 2, 3, 4]
+
+
+def test_sequencer_cached_mode_is_local_and_fast(cluster):
+    c = cluster
+    shared = SharedResourceInterface(c.admin)
+    c.do(shared.set_lease_policy("best-effort"))
+    c.do(c.admin.fs_mkdir("/seqcache"))
+    c.do(c.admin.fs_create("/seqcache/log2", file_type="sequencer"))
+    t0 = c.sim.now
+    first = c.do(c.admin.seq_next("/seqcache/log2"))
+    acquire_time = c.sim.now - t0
+    t1 = c.sim.now
+    rest = [c.do(c.admin.seq_next("/seqcache/log2")) for _ in range(100)]
+    local_avg = (c.sim.now - t1) / 100
+    assert [first] + rest == list(range(101))
+    # Local increments are far cheaper than the initial cap acquisition.
+    assert local_avg < acquire_time / 3
+
+
+def test_two_clients_total_order_under_contention(cluster):
+    c = cluster
+    shared = SharedResourceInterface(c.admin)
+    c.do(shared.set_lease_policy("best-effort"))
+    c.do(c.admin.fs_mkdir("/seqcontend"))
+    c.do(c.admin.fs_create("/seqcontend/contended", file_type="sequencer"))
+    a, b = c.new_client("seq-a"), c.new_client("seq-b")
+
+    def worker(client, count):
+        out = []
+        for _ in range(count):
+            pos = yield from client.seq_next("/seqcontend/contended")
+            out.append(pos)
+        return out
+
+    pa = a.do(worker(a, 200))
+    pb = b.do(worker(b, 200))
+    got_a = c.sim.run_until_complete(pa)
+    got_b = c.sim.run_until_complete(pb)
+    both = sorted(got_a + got_b)
+    # Total order: every position issued exactly once, gapless.
+    assert both == list(range(400))
+    # And the cap genuinely bounced: both made progress.
+    assert len(got_a) == 200 and len(got_b) == 200
+
+
+def test_cap_holder_death_recovers_via_timeout(cluster):
+    c = cluster
+    c.do(c.admin.fs_mkdir("/seqorphan"))
+    c.do(c.admin.fs_create("/seqorphan/orphaned", file_type="sequencer"))
+    dying = c.new_client("doomed")
+    survivor = c.new_client("survivor")
+    pos0 = c.sim.run_until_complete(dying.do(
+        dying.seq_next("/seqorphan/orphaned")))
+    assert pos0 == 0
+    dying.crash()  # holds the cap; never releases
+    proc = survivor.do(survivor.seq_next("/seqorphan/orphaned"))
+    got = c.sim.run_until_complete(proc)
+    # Positions may repeat after holder death (dirty tail lost) but the
+    # grant itself must not deadlock; CORFU-level safety comes from the
+    # seal protocol, tested in the zlog suite.
+    assert isinstance(got, int)
+
+
+def test_mds_restart_recovers_namespace_from_rados():
+    c = MalacologyCluster.build(osds=3, mdss=1, seed=32)
+    c.do(c.admin.fs_mkdir("/a"))
+    c.do(c.admin.fs_mkdir("/a/b"))
+    c.do(c.admin.fs_create("/a/b/file", file_type="sequencer"))
+    c.run(1.0)
+    mds = c.mdss[0]
+    mds.crash()
+    c.run(2.0)
+    mds.restart()
+    c.run(10.0)
+    st = c.do(c.admin.fs_stat("/a/b/file"))
+    assert st["file_type"] == "sequencer"
+    assert c.do(c.admin.fs_readdir("/a")) == ["b"]

@@ -1,0 +1,125 @@
+"""Integration tests: full RADOS cluster (monitors + OSDs + clients)."""
+
+import pytest
+
+from repro.errors import AlreadyExists, NotFound, StaleEpoch
+from repro.rados.placement import locate
+from repro.sim import FailureInjector
+from repro.testing import build_rados_cluster
+
+COUNTER_SOURCE = """
+def inc(ctx, args):
+    n = ctx.xattr_get("count", 0) + args.get("by", 1)
+    ctx.xattr_set("count", n)
+    return {"count": n}
+
+def get(ctx, args):
+    return {"count": ctx.xattr_get("count", 0)}
+
+METHODS = {"inc": inc, "get": get}
+"""
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_rados_cluster(osd_count=4, seed=11)
+
+
+def test_write_read_round_trip(cluster):
+    c = cluster
+    c.do(c.admin.rados_write_full("data", "greeting", b"hello world"))
+    assert c.do(c.admin.rados_read("data", "greeting")) == b"hello world"
+
+
+def test_append_returns_offsets(cluster):
+    c = cluster
+    assert c.do(c.admin.rados_append("data", "appendee", b"aaaa")) == 0
+    assert c.do(c.admin.rados_append("data", "appendee", b"bb")) == 4
+    assert c.do(c.admin.rados_read("data", "appendee")) == b"aaaabb"
+
+
+def test_create_exclusive_conflicts(cluster):
+    c = cluster
+    c.do(c.admin.rados_create("data", "unique"))
+    with pytest.raises(AlreadyExists):
+        c.do(c.admin.rados_create("data", "unique"))
+
+
+def test_read_missing_object_raises(cluster):
+    with pytest.raises(NotFound):
+        cluster.do(cluster.admin.rados_read("data", "missing-object"))
+
+
+def test_omap_round_trip(cluster):
+    c = cluster
+    c.do(c.admin.rados_omap_set("data", "kv", "color", "teal"))
+    assert c.do(c.admin.rados_omap_get("data", "kv", "color")) == "teal"
+
+
+def test_op_list_is_atomic_on_failure(cluster):
+    c = cluster
+    ops = [
+        {"op": "write_full", "data": b"should-not-land"},
+        {"op": "omap_get", "key": "no-such-key"},  # fails
+    ]
+    with pytest.raises(NotFound):
+        c.do(c.admin.rados_op("data", "atomic-check", ops))
+    with pytest.raises(NotFound):
+        c.do(c.admin.rados_read("data", "atomic-check"))
+
+
+def test_writes_are_replicated_to_acting_set(cluster):
+    c = cluster
+    c.do(c.admin.rados_write_full("data", "replicated", b"x" * 100))
+    c.run(2.0)
+    osdmap = c.mons[0].store.osdmap
+    pgid, acting = locate(osdmap, "data", "replicated")
+    assert len(acting) == 2
+    holders = [o for o in c.osds
+               if ("data", pgid) in o.pgs and "replicated" in o.pgs[
+                   ("data", pgid)]]
+    assert sorted(o.name for o in holders) == sorted(acting)
+    datas = {bytes(o.pgs[("data", pgid)]["replicated"].data)
+             for o in holders}
+    assert datas == {b"x" * 100}
+
+
+def test_exec_bundled_class(cluster):
+    c = cluster
+    out = c.do(c.admin.rados_exec("data", "counter-obj", "numops", "add",
+                                  {"key": "hits", "value": 3}))
+    assert out == {"value": 3}
+
+
+def test_dynamic_interface_install_and_exec(cluster):
+    c = cluster
+    c.do(c.admin.rados_install_interface("counter", 1, COUNTER_SOURCE,
+                                         category="metadata"))
+    c.run(3.0)  # gossip + install delay
+    assert all(o.registry.has("counter") for o in c.osds)
+    out = c.do(c.admin.rados_exec("data", "dyn-obj", "counter", "inc",
+                                  {"by": 7}))
+    assert out == {"count": 7}
+
+
+def test_dynamic_interface_upgrade_without_restart(cluster):
+    c = cluster
+    v2 = COUNTER_SOURCE.replace('args.get("by", 1)', 'args.get("by", 100)')
+    c.do(c.admin.rados_install_interface("counter", 2, v2,
+                                         category="metadata"))
+    c.run(3.0)
+    assert all(o.registry.version_of("counter") == 2 for o in c.osds)
+    out = c.do(c.admin.rados_exec("data", "dyn-obj2", "counter", "inc", {}))
+    assert out == {"count": 100}
+
+
+def test_zlog_class_over_the_wire_epoch_fencing(cluster):
+    c = cluster
+    c.do(c.admin.rados_exec("data", "log-obj", "zlog", "write",
+                            {"epoch": 1, "pos": 0, "data": "e0"}))
+    sealed = c.do(c.admin.rados_exec("data", "log-obj", "zlog", "seal",
+                                     {"epoch": 2}))
+    assert sealed == {"max_pos": 0}
+    with pytest.raises(StaleEpoch):
+        c.do(c.admin.rados_exec("data", "log-obj", "zlog", "write",
+                                {"epoch": 1, "pos": 1, "data": "stale"}))

@@ -1,0 +1,104 @@
+"""Property tests: Paxos safety under adversarial message schedules.
+
+The property that matters is *agreement*: across any interleaving of
+prepares and accepts from competing proposers — including lost
+messages, re-deliveries, and stale retries — no two quorums ever
+choose different values for the same instance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.monitor.paxos import Acceptor, ChosenLog, Proposal
+
+ACCEPTORS = 3
+QUORUM = 2
+
+
+@st.composite
+def schedules(draw):
+    """A random schedule of proposer actions against 3 acceptors."""
+    steps = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["prepare", "accept"]),
+            st.integers(min_value=0, max_value=3),   # proposer id
+            st.integers(min_value=1, max_value=5),   # round
+            st.integers(min_value=0, max_value=2),   # instance
+            st.lists(st.integers(min_value=0, max_value=ACCEPTORS - 1),
+                     min_size=1, max_size=ACCEPTORS, unique=True),
+        ),
+        min_size=1, max_size=60))
+    return steps
+
+
+@given(schedules())
+@settings(max_examples=200, deadline=None)
+def test_agreement_under_arbitrary_schedules(steps):
+    acceptors = [Acceptor() for _ in range(ACCEPTORS)]
+    # proposer state: what each proposer would propose per instance.
+    chosen = {}  # instance -> value, first quorum-accepted
+
+    # Track per (instance, pid) accept counts to detect choices.
+    accept_counts = {}
+
+    for action, proposer, rnd, instance, targets in steps:
+        pid = (rnd, proposer)
+        if action == "prepare":
+            promised = []
+            adopted = {}
+            for t in targets:
+                rep = acceptors[t].handle_prepare(pid, start=0)
+                if rep.ok:
+                    promised.append(t)
+                    for inst, (apid, aval) in rep.accepted.items():
+                        if inst not in adopted or apid > adopted[inst][0]:
+                            adopted[inst] = (apid, aval)
+        else:
+            # Proposers must re-propose any adopted value; to stay
+            # adversarial but legal we derive the value from the
+            # highest accepted value visible to this proposer through
+            # its own prepare — modelled simply: if any acceptor in the
+            # target set has accepted something for this instance with
+            # a lower pid, propose that value, else a fresh one.
+            visible = [
+                acceptors[t].accepted.get(instance) for t in targets]
+            visible = [v for v in visible if v is not None]
+            if visible:
+                value = max(visible, key=lambda pv: pv[0])[1]
+            else:
+                value = f"v-{proposer}-{rnd}-{instance}"
+            for t in targets:
+                ok = acceptors[t].handle_accept(
+                    Proposal(instance, pid, value))
+                if ok:
+                    key = (instance, pid, value)
+                    accept_counts[key] = accept_counts.get(key, 0) + 1
+                    if accept_counts[key] >= QUORUM:
+                        if instance in chosen:
+                            assert chosen[instance] == value, (
+                                "agreement violated")
+                        else:
+                            chosen[instance] = value
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.text(min_size=1,
+                                                     max_size=3)),
+                min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_chosen_log_applies_contiguously(learns):
+    log = ChosenLog()
+    first_value = {}
+    applied = []
+    for instance, value in learns:
+        if instance in first_value:
+            value = first_value[instance]  # re-learn same decision
+        else:
+            first_value[instance] = value
+        log.learn(instance, value)
+        applied.extend(log.take_ready())
+    # Applied instances are exactly 0..k contiguous, in order.
+    indices = [i for i, _ in applied]
+    assert indices == sorted(indices)
+    assert indices == list(range(len(indices)))
+    # Values match the first decision for each instance.
+    for i, v in applied:
+        assert v == first_value[i]

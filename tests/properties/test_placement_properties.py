@@ -1,0 +1,57 @@
+"""Property tests: placement stability (the CRUSH-like property)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.monitor.maps import OSDMap
+from repro.rados.placement import acting_set, pg_of
+
+
+def make_map(up_names, size=2, pg_num=32):
+    return OSDMap(
+        epoch=1,
+        osds={name: "up" for name in up_names},
+        pools={"p": {"size": size, "pg_num": pg_num}},
+    )
+
+
+names = st.lists(st.integers(0, 40).map(lambda i: f"osd{i}"),
+                 min_size=3, max_size=20, unique=True)
+
+
+@given(names, st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_acting_set_is_deterministic_and_sized(osds, pgid):
+    m = make_map(osds)
+    acting = acting_set(m, "p", pgid)
+    assert acting == acting_set(m, "p", pgid)
+    assert len(acting) == min(2, len(osds))
+    assert len(set(acting)) == len(acting)
+    assert all(o in osds for o in acting)
+
+
+@given(names)
+@settings(max_examples=100, deadline=None)
+def test_removing_one_osd_only_moves_its_pgs(osds):
+    """Minimal movement: PGs not touching the dead OSD keep their set."""
+    m_before = make_map(osds)
+    victim = sorted(osds)[0]
+    survivors = [o for o in osds if o != victim]
+    m_after = make_map(survivors)
+    for pgid in range(32):
+        before = acting_set(m_before, "p", pgid)
+        after = acting_set(m_after, "p", pgid)
+        if victim not in before:
+            assert after == before
+        else:
+            # Only the victim's slot changes; other members keep their
+            # relative order (rendezvous hashing's stability).
+            kept = [o for o in before if o != victim]
+            assert [o for o in after if o in kept] == kept
+
+
+@given(st.text(min_size=1, max_size=20), st.integers(1, 128))
+@settings(max_examples=200, deadline=None)
+def test_pg_mapping_in_range_and_stable(oid, pg_num):
+    pgid = pg_of(oid, pg_num)
+    assert 0 <= pgid < pg_num
+    assert pg_of(oid, pg_num) == pgid

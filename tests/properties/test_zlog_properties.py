@@ -1,0 +1,108 @@
+"""Property tests: the CORFU storage interface invariants.
+
+Random op sequences against one object, checked against a reference
+model: write-once is never violated, sealed epochs fence everything
+older, max_pos tracks the highest written/filled position, and reads
+always reflect exactly one state transition history.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MalacologyError, NotFound, ReadOnly, StaleEpoch
+from repro.objclass.bundled import register_all
+from repro.objclass.context import MethodContext
+from repro.objclass.registry import ClassRegistry
+
+registry = ClassRegistry()
+register_all(registry)
+
+zlog_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "fill", "trim", "read", "seal",
+                         "max_position"]),
+        st.integers(0, 7),    # position
+        st.integers(1, 5),    # epoch
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@given(zlog_ops)
+@settings(max_examples=300, deadline=None)
+def test_zlog_matches_reference_model(sequence):
+    ctx = MethodContext(None, "obj", now=0.0)
+    model = {}          # pos -> (state, data)
+    sealed_epoch = 0
+    model_max = -1
+
+    for op, pos, epoch in sequence:
+        args = {"epoch": epoch, "pos": pos}
+        if op == "write":
+            args["data"] = f"d{pos}e{epoch}"
+        try:
+            result = registry.call("zlog", op, ctx, args)
+            error = None
+        except MalacologyError as exc:
+            result, error = None, exc
+
+        if op == "seal":
+            if epoch <= sealed_epoch:
+                assert isinstance(error, StaleEpoch)
+            else:
+                assert error is None
+                assert result == {"max_pos": model_max}
+                sealed_epoch = epoch
+            continue
+
+        # All data ops are fenced by the sealed epoch.
+        if epoch < sealed_epoch:
+            assert isinstance(error, StaleEpoch)
+            continue
+
+        if op == "write":
+            if pos in model:
+                assert isinstance(error, ReadOnly)
+            else:
+                assert error is None
+                model[pos] = ("written", args["data"])
+                model_max = max(model_max, pos)
+        elif op == "fill":
+            state = model.get(pos, (None,))[0]
+            if state is None:
+                assert error is None
+                model[pos] = ("filled", None)
+                model_max = max(model_max, pos)
+            elif state == "filled":
+                assert error is None  # idempotent
+            else:
+                assert isinstance(error, ReadOnly)
+        elif op == "trim":
+            assert error is None
+            model[pos] = ("trimmed", None)
+        elif op == "read":
+            if pos not in model:
+                assert isinstance(error, NotFound)
+            else:
+                state, data = model[pos]
+                assert error is None
+                if state == "written":
+                    assert result == {"state": "written", "data": data}
+                else:
+                    assert result == {"state": state}
+        elif op == "max_position":
+            assert error is None
+            assert result == {"max_pos": model_max}
+
+
+@given(st.lists(st.integers(1, 30), min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_seal_epochs_are_strictly_monotonic(epochs):
+    ctx = MethodContext(None, "obj", now=0.0)
+    highest = 0
+    for epoch in epochs:
+        try:
+            registry.call("zlog", "seal", ctx, {"epoch": epoch})
+            assert epoch > highest
+            highest = epoch
+        except StaleEpoch:
+            assert epoch <= highest

@@ -1,0 +1,108 @@
+"""Unit tests for the pure Paxos state machines."""
+
+import pytest
+
+from repro.monitor.paxos import (
+    Acceptor,
+    ChosenLog,
+    LeaderBook,
+    NO_PROPOSAL,
+    Proposal,
+)
+
+
+def test_acceptor_promises_monotonically():
+    a = Acceptor()
+    r1 = a.handle_prepare((1, 0), start=0)
+    assert r1.ok and a.promised == (1, 0)
+    r2 = a.handle_prepare((1, 0), start=0)  # same pid: rejected
+    assert not r2.ok
+    r3 = a.handle_prepare((0, 5), start=0)  # lower round: rejected
+    assert not r3.ok
+    r4 = a.handle_prepare((2, 0), start=0)
+    assert r4.ok and a.promised == (2, 0)
+
+
+def test_acceptor_accept_respects_promise():
+    a = Acceptor()
+    a.handle_prepare((5, 0), start=0)
+    assert not a.handle_accept(Proposal(0, (4, 0), "old"))
+    assert a.handle_accept(Proposal(0, (5, 0), "new"))
+    assert a.accepted[0] == ((5, 0), "new")
+
+
+def test_acceptor_reports_accepted_values_in_prepare():
+    a = Acceptor()
+    a.handle_accept(Proposal(0, (1, 0), "v0"))
+    a.handle_accept(Proposal(3, (1, 0), "v3"))
+    rep = a.handle_prepare((2, 1), start=1)
+    assert rep.ok
+    assert rep.accepted == {3: ((1, 0), "v3")}  # instance 0 < start
+
+
+def test_acceptor_accept_without_prepare_is_allowed():
+    # Phase 2 from a leader whose prepare this acceptor missed still
+    # succeeds if the pid is not below any promise (pid >= promised).
+    a = Acceptor()
+    assert a.handle_accept(Proposal(0, (1, 0), "v"))
+
+
+def test_acceptor_forget_below_gc():
+    a = Acceptor()
+    for i in range(5):
+        a.handle_accept(Proposal(i, (1, 0), f"v{i}"))
+    a.forget_below(3)
+    assert sorted(a.accepted) == [3, 4]
+
+
+def test_chosen_log_applies_in_order():
+    log = ChosenLog()
+    log.learn(2, "c")
+    assert log.take_ready() == []
+    log.learn(0, "a")
+    assert log.take_ready() == [(0, "a")]
+    log.learn(1, "b")
+    assert log.take_ready() == [(1, "b"), (2, "c")]
+    assert log.applied_through == 2
+    assert log.next_instance == 3
+
+
+def test_chosen_log_detects_agreement_violation():
+    log = ChosenLog()
+    log.learn(0, "a")
+    with pytest.raises(AssertionError):
+        log.learn(0, "b")
+
+
+def test_chosen_log_duplicate_learn_is_idempotent():
+    log = ChosenLog()
+    log.learn(0, "a")
+    log.learn(0, "a")
+    assert log.take_ready() == [(0, "a")]
+    # Learning an already-applied instance is ignored.
+    log.learn(0, "whatever-late-commit")
+    assert log.take_ready() == []
+
+
+def test_chosen_log_next_instance_skips_known():
+    log = ChosenLog()
+    log.learn(1, "b")
+    assert log.next_instance == 0
+    log.learn(0, "a")
+    log.take_ready()
+    assert log.next_instance == 2
+
+
+def test_leader_book_quorum_transition_fires_once():
+    book = LeaderBook(quorum=2)
+    book.start(0, "v")
+    assert not book.record_ack(0, "a")  # 1 of 2
+    assert book.record_ack(0, "b")      # reaches quorum: True
+    assert not book.record_ack(0, "c")  # already chosen: False
+    book.finish(0)
+    assert not book.record_ack(0, "d")  # finished: ignored
+
+
+def test_no_proposal_sorts_below_everything():
+    assert NO_PROPOSAL < (0, 0)
+    assert NO_PROPOSAL < (1, 2)

@@ -1,0 +1,147 @@
+"""Unit tests: workload helpers, survey dataset, striping, policies."""
+
+import pytest
+
+from repro.data import category_rows, growth_series
+from repro.data.ceph_survey import TOTAL_METHODS, is_accelerating
+from repro.errors import InvalidArgument, PolicyError
+from repro.mantle import MantlePolicy, builtin
+from repro.workloads import interleaving_runs
+from repro.zlog import StripeLayout
+
+
+# ----------------------------------------------------------------------
+# Survey dataset
+# ----------------------------------------------------------------------
+def test_growth_series_shape():
+    series = growth_series()
+    assert series[0][0] == 2010 and series[-1][0] == 2016
+    assert series[-1] == (2016, 28, 95)
+    assert is_accelerating(series)
+
+
+def test_category_totals_match_table():
+    rows = category_rows()
+    assert sum(n for _, _, n in rows) == TOTAL_METHODS == 95
+
+
+def test_is_accelerating_rejects_linear_series():
+    linear = [(2010 + i, i, 10 * i) for i in range(7)]
+    assert not is_accelerating(linear)
+
+
+# ----------------------------------------------------------------------
+# Striping
+# ----------------------------------------------------------------------
+def test_stripe_layout_round_robin():
+    layout = StripeLayout("log", width=3)
+    assert layout.object_of(0) == layout.object_of(3)
+    assert len({layout.object_of(p) for p in range(3)}) == 3
+    assert len(layout.all_objects()) == 3
+
+
+def test_stripe_layout_validation():
+    with pytest.raises(InvalidArgument):
+        StripeLayout("bad/name")
+    with pytest.raises(InvalidArgument):
+        StripeLayout("ok", width=0)
+    with pytest.raises(InvalidArgument):
+        StripeLayout("ok").object_of(-1)
+
+
+def test_stripe_layout_round_trip():
+    layout = StripeLayout("log", width=7, pool="other")
+    again = StripeLayout.from_dict(layout.to_dict())
+    assert again.all_objects() == layout.all_objects()
+    assert again.pool == "other"
+
+
+# ----------------------------------------------------------------------
+# Interleaving analysis
+# ----------------------------------------------------------------------
+def test_interleaving_runs_basic():
+    traces = [
+        [(0.0, 0), (0.0, 1), (0.0, 4)],   # client 0
+        [(0.0, 2), (0.0, 3)],             # client 1
+    ]
+    assert interleaving_runs(traces) == [2, 2, 1]
+
+
+def test_interleaving_runs_empty():
+    assert interleaving_runs([[], []]) == []
+
+
+# ----------------------------------------------------------------------
+# Builtin policies compile and behave
+# ----------------------------------------------------------------------
+def row(load, cpu=0.5):
+    return {"load": load, "cpu": cpu, "req_rate": load, "inodes": 1}
+
+
+@pytest.mark.parametrize("name,source", sorted(builtin.CATALOG.items()))
+def test_every_builtin_policy_compiles(name, source):
+    MantlePolicy(name, source)
+
+
+def test_greedy_spill_half_sends_half():
+    policy = MantlePolicy("spill", builtin.GREEDY_SPILL_HALF)
+    go, targets, _ = policy.decide([row(1000), row(10)], 0, {})
+    assert go
+    assert targets[1] == pytest.approx(500.0)
+
+
+def test_greedy_spill_quiet_below_min_load():
+    policy = MantlePolicy("spill", builtin.GREEDY_SPILL_HALF)
+    go, _, _ = policy.decide([row(5), row(0)], 0, {})
+    assert not go
+
+
+def test_cephfs_mode_spreads_excess_to_underloaded():
+    policy = MantlePolicy("wl", builtin.CEPHFS_WORKLOAD)
+    go, targets, _ = policy.decide(
+        [row(900), row(50), row(50)], 0, {})
+    assert go
+    assert targets[1] > 0 and targets[2] > 0
+    assert targets[0] == 0
+
+
+def test_mantle_sequencer_waits_for_underloaded_receiver():
+    policy = MantlePolicy("seq", builtin.MANTLE_SEQUENCER)
+    state = {}
+    # All ranks loaded: no receiver below half the average -> hold.
+    go, _, _ = policy.decide([row(500), row(450), row(480)], 0, state)
+    assert not go
+    # A cold receiver exists, but the first positive check arms the
+    # cooldown; the next tick migrates.
+    go1, _, _ = policy.decide([row(900), row(10), row(900)], 0, state)
+    go2, targets, _ = policy.decide([row(900), row(10), row(900)], 0,
+                                    state)
+    assert [go1, go2].count(True) == 1
+    if go2:
+        assert targets[1] > 0
+
+
+def test_with_routing_adds_mode():
+    src = builtin.with_routing(builtin.GREEDY_SPILL_HALF, "proxy")
+    policy = MantlePolicy("routed", src)
+    _, _, routing = policy.decide([row(0), row(0)], 0, {})
+    assert routing == "proxy"
+    with pytest.raises(ValueError):
+        builtin.with_routing(builtin.GREEDY_SPILL_HALF, "bogus")
+
+
+def test_with_backoff_suppresses_consecutive_decisions():
+    src = builtin.with_backoff(builtin.GREEDY_SPILL_HALF, 2)
+    policy = MantlePolicy("backoff", src)
+    state = {}
+    decisions = [policy.decide([row(1000), row(10)], 0, state)[0]
+                 for _ in range(6)]
+    # fire, then 2 suppressed ticks, then fire again...
+    assert decisions == [True, False, False, True, False, False]
+
+
+def test_policy_routing_validation():
+    bad = builtin.GREEDY_SPILL_HALF + "\ndef routing():\n    return 'x'\n"
+    policy = MantlePolicy("bad-routing", bad)
+    with pytest.raises(PolicyError):
+        policy.decide([row(0), row(0)], 0, {})

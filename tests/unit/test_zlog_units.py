@@ -1,0 +1,72 @@
+"""Unit tests: ZLog naming helpers and the LogBackedDict apply logic."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.zlog.kvstore import LogBackedDict
+from repro.zlog.log import ZLog, epoch_key, layout_key, sequencer_path
+from repro.zlog.striping import StripeLayout
+
+
+def test_naming_helpers_are_namespaced_per_log():
+    assert sequencer_path("mylog") == "/zlog/mylog/seq"
+    assert epoch_key("mylog") == "zlog/mylog/epoch"
+    assert layout_key("mylog") == "zlog/mylog/layout"
+    assert sequencer_path("a") != sequencer_path("b")
+
+
+def test_zlog_default_layout_matches_name():
+    log = ZLog(client=None, name="events")
+    assert log.layout.log_name == "events"
+    assert log.epoch == 1
+
+
+def test_log_backed_dict_apply_semantics():
+    d = LogBackedDict(log=None)
+    d._apply(0, {"state": "written",
+                 "data": {"op": "put", "key": "a", "value": 1}})
+    d._apply(1, {"state": "filled"})  # holes are no-ops
+    d._apply(2, {"state": "written",
+                 "data": {"op": "put", "key": "b", "value": 2}})
+    d._apply(3, {"state": "written", "data": {"op": "del", "key": "a"}})
+    assert d._state == {"b": 2}
+    assert d.local_get("b") == 2
+    assert d.local_get("ghost", "default") == "default"
+
+
+def test_log_backed_dict_rejects_unknown_commands():
+    d = LogBackedDict(log=None)
+    with pytest.raises(InvalidArgument):
+        d._apply(0, {"state": "written", "data": {"op": "explode"}})
+
+
+def test_transactional_table_verdicts_are_deterministic():
+    from repro.zlog.table import TransactionalTable
+
+    def replay(entries):
+        t = TransactionalTable(log=None)
+        for pos, txn in enumerate(entries):
+            t._apply(pos, {"state": "written", "data": txn})
+        return t
+
+    entries = [
+        {"kind": "txn", "reads": {}, "writes": {"x": 1}},
+        {"kind": "txn", "reads": {"x": 0}, "writes": {"x": 2}},
+        {"kind": "txn", "reads": {"x": 0}, "writes": {"x": 99}},  # stale
+        {"kind": "txn", "reads": {"x": 1}, "writes": {"y": 5}},
+    ]
+    a, b = replay(entries), replay(entries)
+    assert a._state == b._state
+    assert a._verdicts == b._verdicts == {0: True, 1: True, 2: False,
+                                          3: True}
+    assert a.commits == 3 and a.aborts == 1
+    assert a._state["x"][0] == 2 and a._state["y"][0] == 5
+
+
+def test_stripe_layout_positions_cover_all_objects_evenly():
+    layout = StripeLayout("even", width=4)
+    counts = {}
+    for pos in range(400):
+        counts[layout.object_of(pos)] = counts.get(
+            layout.object_of(pos), 0) + 1
+    assert set(counts.values()) == {100}
