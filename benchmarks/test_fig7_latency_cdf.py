@@ -31,7 +31,11 @@ def run_experiment():
         workload.start()
         cluster.run(DURATION)
         workload.stop()
-        results[label] = Cdf(workload.all_latencies())
+        # Latency samples come from the telemetry layer: seq_next
+        # retains every sample in each client's "seq.next" tracker,
+        # so the CDF's extreme tail (p99.999, max) is exact.
+        results[label] = Cdf(s for c in workload.clients
+                             for s in c.perf.samples("seq.next"))
     return results
 
 

@@ -117,6 +117,45 @@ class MalacologyCluster:
         proc = self.admin.do(gen)
         return self.sim.run_until_complete(proc, limit=limit)
 
+    # ------------------------------------------------------------------
+    # Telemetry aggregation (cluster-wide admin socket)
+    # ------------------------------------------------------------------
+    def daemons(self) -> List[Daemon]:
+        """Every daemon the cluster booted (clients are not included)."""
+        return [*self.mons, *self.osds, *self.mdss, self.admin]
+
+    def telemetry_dump(self) -> Dict[str, Any]:
+        """``telemetry.dump`` on every daemon, keyed by daemon name.
+
+        Out-of-band like Ceph's admin socket: works even when parts of
+        the cluster are down (a crashed daemon still answers with its
+        — reset — registry).
+        """
+        return {d.name: d.admin_command("telemetry.dump")
+                for d in self.daemons()}
+
+    def telemetry_reset(self) -> None:
+        """Clear perf counters cluster-wide and drop collected traces."""
+        for d in self.daemons():
+            d.admin_command("telemetry.reset")
+        if self.sim.trace_collector is not None:
+            self.sim.trace_collector.reset()
+
+    def telemetry_trace(self, trace_id: Optional[int] = None,
+                        render: bool = False) -> Any:
+        """List trace ids, or dump/render one span tree.
+
+        The collector is cluster-wide (all daemons share it through the
+        simulator), so any daemon answers identically; we ask the admin
+        client.
+        """
+        args: Dict[str, Any] = {}
+        if trace_id is not None:
+            args["trace_id"] = trace_id
+        if render:
+            args["render"] = True
+        return self.admin.admin_command("telemetry.trace", args)
+
     def mds_of_rank(self, rank: int) -> MDS:
         for mds in self.mdss:
             if mds.rank == rank:

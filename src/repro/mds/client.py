@@ -209,7 +209,12 @@ class FsClient(MonitorClient):
         Fast path: locally cached capability.  Slow path: acquire the
         capability (waiting for the current holder to release) or, in
         round-trip mode, a server-side ``next``.
+
+        Every successful grant records its end-to-end latency in the
+        ``seq.next`` telemetry tracker (full samples retained: the
+        Figure 7 CDF reads exact tail quantiles from it).
         """
+        started = self.sim.now
         while True:
             cap = self._caps.get(path)
             if cap is not None:
@@ -222,10 +227,14 @@ class FsClient(MonitorClient):
                 cap["ops"] += 1
                 self.seq_trace.append((self.sim.now, pos))
                 self._maybe_voluntary_release(path, cap)
+                self.perf.time("seq.next", self.sim.now - started,
+                               retain=True)
                 return pos
             if self._round_trip_valid(path):
                 pos = yield from self.fs_exec(path, "next")
                 self.seq_trace.append((self.sim.now, pos))
+                self.perf.time("seq.next", self.sim.now - started,
+                               retain=True)
                 return pos
             pending_release = self._releasing.get(path)
             if pending_release is not None:
@@ -237,7 +246,10 @@ class FsClient(MonitorClient):
                 self._round_trip[path] = m.epoch if m else 0
                 pos = yield from self.fs_exec(path, "next")
                 self.seq_trace.append((self.sim.now, pos))
+                self.perf.time("seq.next", self.sim.now - started,
+                               retain=True)
                 return pos
+            self.perf.incr("cap.acquired")
             self._adopt_grant(path, grant)
 
     def _round_trip_valid(self: Any, path: str) -> bool:

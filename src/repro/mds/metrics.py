@@ -10,37 +10,13 @@ paper's Figure 10(a) modes (CPU / workload / hybrid) switch between.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, List, Tuple
 
+# DecayCounter moved to util.stats so telemetry can share it without a
+# daemon-package import; re-exported here for existing callers.
+from repro.util.stats import DecayCounter
 
-class DecayCounter:
-    """Exponentially decayed event counter (CephFS's DecayCounter)."""
-
-    def __init__(self, halflife: float = 5.0):
-        if halflife <= 0:
-            raise ValueError("halflife must be positive")
-        self._lambda = math.log(2.0) / halflife
-        self._value = 0.0
-        self._last = 0.0
-
-    def hit(self, now: float, amount: float = 1.0) -> None:
-        self._decay_to(now)
-        self._value += amount
-
-    def get(self, now: float) -> float:
-        self._decay_to(now)
-        return self._value
-
-    def scale(self, factor: float) -> None:
-        """Scale the counter (used when splitting load across exports)."""
-        self._value *= factor
-
-    def _decay_to(self, now: float) -> None:
-        dt = now - self._last
-        if dt > 0:
-            self._value *= math.exp(-self._lambda * dt)
-            self._last = now
+__all__ = ["DecayCounter", "LoadTracker"]
 
 
 class LoadTracker:

@@ -116,6 +116,10 @@ class MDS(Daemon, RadosClient):
         self.booted = False
         #: Bench hook: fn(op, sim_time) on every locally served request.
         self.request_hook: Optional[Any] = None
+        #: Seconds of queued CPU work ahead of a request arriving now.
+        self.perf.gauge_fn(
+            "cpu.backlog",
+            lambda: max(0.0, self._cpu_free_at - self.sim.now))
 
         rh = self.register_handler
         rh("mds_req", self._h_request)
@@ -225,13 +229,16 @@ class MDS(Daemon, RadosClient):
                     raise TryAgain(f"{prefix} is migrating")
         owner = m.owner_of(path)
         if owner != self.rank:
+            self.perf.incr("op.forward")
             result = yield from self._route_away(owner, src, payload)
             return result
         handler = self._OPS.get(op)
         if handler is None:
             raise InvalidArgument(f"unknown mds op {op!r}")
+        started = self.sim.now
         result = yield from handler(self, src, path,
                                     payload.get("args", {}))
+        self.perf.time(f"op.{op}", self.sim.now - started)
         if self.request_hook is not None:
             self.request_hook(op, self.sim.now)
         return result
@@ -452,6 +459,7 @@ class MDS(Daemon, RadosClient):
                     "ino": inode.ino}
         cap = self.locker.try_grant(inode.ino, src, self.sim.now, policy)
         if cap is not None:
+            self.perf.incr("cap.grant")
             return self._grant_payload(inode, cap)
         fut = Future(name=f"grant:{inode.ino}:{src}")
         self._grant_waiters.setdefault(inode.ino, {})[src] = fut
@@ -482,6 +490,7 @@ class MDS(Daemon, RadosClient):
         ino = args["ino"]
         inode = self.ns.get(path)
         if self.locker.release(ino, src, args["seq"]):
+            self.perf.incr("cap.release")
             inode.merge_flush(args.get("dirty", {}))
             self._grant_next(ino)
         return None
@@ -491,6 +500,7 @@ class MDS(Daemon, RadosClient):
         if cap is None:
             return
         self.locker.mark_revoking(ino)
+        self.perf.incr("cap.revoke")
         self.cast(cap.client, "cap_revoke", {"ino": ino, "seq": cap.seq})
         self.sim.schedule(self.CAP_REVOKE_TIMEOUT,
                           self._revoke_deadline, ino, cap.client, cap.seq)
@@ -527,6 +537,7 @@ class MDS(Daemon, RadosClient):
         fut = self._grant_waiters.get(ino, {}).pop(waiter, None)
         if cap is None:
             return
+        self.perf.incr("cap.grant")
         if fut is not None:
             fut.resolve_if_pending(self._grant_payload(inode, cap))
         if self.locker.needs_revoke(ino):
@@ -603,6 +614,8 @@ class MDS(Daemon, RadosClient):
             for p in entries:
                 self.tracker.forget_inode(p)
             yield from self._journal("export", path, to_rank=target_rank)
+            self.perf.incr("migrate.export")
+            self.perf.incr("migrate.inodes", len(entries))
             yield from self.mon_log(
                 "INF", f"mds.{self.rank} exported {path} to "
                        f"rank {target_rank}")
@@ -623,6 +636,7 @@ class MDS(Daemon, RadosClient):
             self.locker.drop_ino(inode.ino)
 
     def _h_import(self, src: str, payload: Dict[str, Any]) -> bool:
+        self.perf.incr("migrate.import")
         self.ns.install_subtree(payload["entries"])
         now = self.sim.now
         for p, pop in payload.get("popularity", {}).items():
@@ -637,6 +651,7 @@ class MDS(Daemon, RadosClient):
     # Crash / restart
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
+        super().on_crash()  # telemetry is volatile
         # The namespace cache and caps are volatile; directories live in
         # RADOS and are reloaded on restart.
         self.booted = False

@@ -235,6 +235,7 @@ class Monitor(Daemon):
         self.is_leader = True
         self.leader = self.name
         self.book = LeaderBook(self.store.monmap.quorum_size)
+        self.perf.incr("election.won")
         self.log_local(INFO, f"mon.{self.name} won election term {term}")
         # Re-drive adopted values in instance order, filling gaps with
         # no-ops so the log stays contiguous.
@@ -274,6 +275,8 @@ class Monitor(Daemon):
         if self.book is None:
             return
         self._inflight_instance = instance
+        proposed_at = self.sim.now
+        self.perf.incr("paxos.propose")
         try:
             self.book.start(instance, value)
             proposal = {"instance": instance, "pid": self.current_pid,
@@ -309,6 +312,8 @@ class Monitor(Daemon):
             # Model the local store sync before acking the commit.
             if self.store_sync:
                 yield Timeout(self.store_sync)
+            self.perf.incr("paxos.commit")
+            self.perf.time("paxos.commit", self.sim.now - proposed_at)
             self.chosen.learn(instance, value)
             for peer in self.mon_names:
                 if peer != self.name:
@@ -369,6 +374,7 @@ class Monitor(Daemon):
     def _apply_ready(self) -> None:
         changed_kinds: Set[str] = set()
         for instance, batch in self.chosen.take_ready():
+            self.perf.incr("paxos.apply")
             epochs_before = self._epochs()
             results = self.store.apply_batch(batch["txns"])
             for kind, before in epochs_before.items():
@@ -416,9 +422,11 @@ class Monitor(Daemon):
     # ------------------------------------------------------------------
     def _h_submit(self, src: str, payload: Dict[str, Any]) -> Any:
         txns = payload["txns"]
+        self.perf.incr("mon.submit", len(txns))
         if not self.is_leader:
             if self.leader is None or self.leader == self.name:
                 raise QuorumLost(f"mon.{self.name} knows no leader")
+            self.perf.incr("mon.submit.proxied")
             # Proxy to the leader and relay its answer.
             return self.call(self.leader, "mon_submit", payload,
                              timeout=self.RPC_TIMEOUT * 4)
@@ -477,6 +485,7 @@ class Monitor(Daemon):
     # Crash / restart semantics
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
+        super().on_crash()  # telemetry is volatile
         # Durable: acceptor, chosen log, store, max_term_seen.
         self.is_leader = False
         self.leader = None

@@ -31,6 +31,12 @@ from repro.msg.message import CAST, REQUEST, RESPONSE, Envelope
 from repro.sim.event import Future, Timeout
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
+from repro.telemetry import (
+    PerfCounters,
+    SpanContext,
+    TraceCollector,
+    install_telemetry_commands,
+)
 
 #: Re-exported alias: what an RPC caller catches on deadline expiry.
 RpcTimeout = TimeoutError_
@@ -56,6 +62,19 @@ class Daemon:
         self._pending: Dict[int, Future] = {}
         self._next_id = 0
         self._procs: List[Process] = []
+        #: Telemetry: every daemon owns a perf registry and shares the
+        #: simulator-wide trace collector.  ``_trace_ctx`` is the span
+        #: context of the handler currently executing on this daemon;
+        #: outgoing call/cast stamp it onto the envelope.
+        self.perf = PerfCounters(owner=name, clock=lambda: sim.now)
+        self.tracer = TraceCollector.of(sim)
+        self._trace_ctx: Optional[SpanContext] = None
+        self._admin_commands: Dict[str, Callable[[Any], Any]] = {}
+        self.perf.gauge_fn("rpc.pending", lambda: len(self._pending))
+        self.perf.gauge_fn(
+            "procs.active",
+            lambda: sum(1 for p in self._procs if not p.done))
+        install_telemetry_commands(self)
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -66,6 +85,31 @@ class Daemon:
         if method in self._handlers:
             raise ValueError(f"{self.name}: duplicate handler {method!r}")
         self._handlers[method] = fn
+
+    def register_admin_command(self, name: str,
+                               fn: Callable[[Any], Any]) -> None:
+        """Register an out-of-band admin command (Ceph admin socket).
+
+        Commands take one ``args`` dict (may be None) and return a
+        JSON-safe value.  They are invoked directly on the daemon
+        object — no simulated time passes — so they work even when the
+        cluster is wedged, like Ceph's UNIX-socket surface.  Each
+        command is also exposed as an RPC handler of the same name so
+        peers and tests can query it in-band.
+        """
+        if name in self._admin_commands:
+            raise ValueError(f"{self.name}: duplicate admin cmd {name!r}")
+        self._admin_commands[name] = fn
+        self.register_handler(
+            name, lambda src, args: self.admin_command(name, args))
+
+    def admin_command(self, name: str, args: Any = None) -> Any:
+        """Invoke an admin command by name (raises on unknown names)."""
+        fn = self._admin_commands.get(name)
+        if fn is None:
+            raise MalacologyError(
+                f"{self.name}: no admin command {name!r}")
+        return fn(args)
 
     # ------------------------------------------------------------------
     # Outbound
@@ -81,8 +125,10 @@ class Daemon:
         self._next_id += 1
         fut = Future(name=f"{self.name}->{dst}:{method}#{msg_id}")
         self._pending[msg_id] = fut
+        self.perf.incr("rpc.tx")
         self._post(Envelope(kind=REQUEST, src=self.name, dst=dst,
-                            method=method, msg_id=msg_id, payload=payload))
+                            method=method, msg_id=msg_id, payload=payload,
+                            trace=self._trace_wire()))
         if timeout is not None:
             self.sim.schedule(timeout, self._expire, msg_id)
         return fut
@@ -93,8 +139,14 @@ class Daemon:
             return
         msg_id = self._next_id
         self._next_id += 1
+        self.perf.incr("rpc.tx")
         self._post(Envelope(kind=CAST, src=self.name, dst=dst,
-                            method=method, msg_id=msg_id, payload=payload))
+                            method=method, msg_id=msg_id, payload=payload,
+                            trace=self._trace_wire()))
+
+    def _trace_wire(self) -> Optional[Dict[str, int]]:
+        ctx = self._trace_ctx
+        return ctx.wire() if ctx is not None else None
 
     def broadcast(self, dsts: List[str], method: str,
                   payload: Any = None) -> None:
@@ -151,24 +203,129 @@ class Daemon:
                 self._reply_error(env, MalacologyError(
                     f"{self.name}: no handler for {env.method!r}"))
             return
+        self.perf.incr("rpc.rx")
+        span = None
+        ctx = None
+        if env.trace is not None:
+            span = self.tracer.start_span(
+                env.method, daemon=self.name,
+                trace_id=env.trace["trace"], parent_id=env.trace["span"],
+                src=env.src, kind=env.kind)
+            ctx = SpanContext(span.trace_id, span.span_id)
+        started = self.sim.now
         try:
-            result = handler(env.src, env.payload)
+            result = self._invoke(handler, env, ctx)
         except MalacologyError as exc:
+            self._finish_rpc(env, span, started, error=exc)
             if env.kind == REQUEST:
                 self._reply_error(env, exc)
             return
         if env.kind == CAST:
             if inspect.isgenerator(result):
-                self.spawn(result, name=f"{self.name}:{env.method}")
+                proc = self.spawn(result, name=f"{self.name}:{env.method}")
+                proc.completion.add_callback(
+                    lambda fut: self._finish_rpc(env, span, started,
+                                                 error=fut.error))
+            else:
+                self._finish_rpc(env, span, started)
             return
         if inspect.isgenerator(result):
             proc = self.spawn(result, name=f"{self.name}:{env.method}")
+            # Finish the span before the reply goes out so the handler
+            # span never outlives the response that settles it.
+            proc.completion.add_callback(
+                lambda fut: self._finish_rpc(env, span, started,
+                                             error=fut.error))
             proc.completion.add_callback(
                 lambda fut: self._reply_future(env, fut))
         elif isinstance(result, Future):
+            result.add_callback(
+                lambda fut: self._finish_rpc(env, span, started,
+                                             error=fut.error))
             result.add_callback(lambda fut: self._reply_future(env, fut))
         else:
+            self._finish_rpc(env, span, started)
             self._reply_value(env, result)
+
+    def _invoke(self, handler: Callable[[str, Any], Any], env: Envelope,
+                ctx: Optional[SpanContext]) -> Any:
+        """Run a handler with the trace context active.
+
+        The context is installed around the *synchronous* portion here,
+        and — for generator handlers — around every later resumption
+        via :meth:`_run_traced`, so outgoing call/cast between yields
+        inherit the right span even when many handlers interleave.
+        """
+        if ctx is None:
+            return handler(env.src, env.payload)
+        prev, self._trace_ctx = self._trace_ctx, ctx
+        try:
+            result = handler(env.src, env.payload)
+        finally:
+            self._trace_ctx = prev
+        if inspect.isgenerator(result):
+            result = self._run_traced(result, ctx)
+        return result
+
+    def _run_traced(self, body: Generator, ctx: SpanContext) -> Generator:
+        """Pass-through trampoline keeping ``_trace_ctx`` set per step.
+
+        Adds no simulated events and no extra yields — determinism is
+        untouched; it only brackets each ``send``/``throw`` into the
+        wrapped generator with a context swap.
+        """
+        to_send: Any = None
+        to_throw: Optional[BaseException] = None
+        while True:
+            prev, self._trace_ctx = self._trace_ctx, ctx
+            try:
+                if to_throw is not None:
+                    err, to_throw = to_throw, None
+                    yielded = body.throw(err)
+                else:
+                    yielded = body.send(to_send)
+            except StopIteration as stop:
+                return getattr(stop, "value", None)
+            finally:
+                self._trace_ctx = prev
+            try:
+                to_send = yield yielded
+            except GeneratorExit:
+                body.close()
+                raise
+            except BaseException as exc:
+                to_send, to_throw = None, exc
+
+    def traced(self, body: Generator, name: str) -> Generator:
+        """Wrap a client-side generator op under a new root span.
+
+        Usage::
+
+            proc = client.do(client.traced(log.append(data), "zlog.append"))
+
+        Every RPC the op issues (and every hop those trigger) lands in
+        the same trace; dump it with ``telemetry.trace`` afterwards.
+        """
+        ctx = self.tracer.begin_trace(name, daemon=self.name)
+
+        def _root() -> Generator:
+            error: Optional[BaseException] = None
+            try:
+                result = yield from self._run_traced(body, ctx)
+                return result
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                self.tracer.finish(ctx.span_id, error=error)
+
+        return _root()
+
+    def _finish_rpc(self, env: Envelope, span: Any, started: float,
+                    error: Optional[BaseException] = None) -> None:
+        self.perf.time(f"rpc.{env.method}", self.sim.now - started)
+        if span is not None:
+            self.tracer.finish(span.span_id, error=error)
 
     def _reply_future(self, env: Envelope, fut: Future) -> None:
         if not self.alive:
@@ -251,7 +408,14 @@ class Daemon:
         self.on_restart()
 
     def on_crash(self) -> None:
-        """Subclass hook: discard volatile state."""
+        """Subclass hook: discard volatile state.
+
+        The base implementation clears the perf counter registry —
+        telemetry is volatile daemon state and must not survive a
+        crash unless something durably stored it.  Subclasses that
+        override this must call ``super().on_crash()``.
+        """
+        self.perf.reset()
 
     def on_restart(self) -> None:
         """Subclass hook: re-spawn tickers, reload durable state."""

@@ -10,7 +10,7 @@ than they are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Envelope kinds.
 REQUEST = "request"
@@ -33,6 +33,11 @@ class Envelope:
     msg_id: int
     payload: Any = None
     error: Optional[Tuple[str, str]] = None
+    #: RPC trace context ``{"trace": id, "span": id}``, stamped by the
+    #: sender when the sending code runs under an active span (see
+    #: ``repro.telemetry.trace``); None for untraced traffic.  The
+    #: receiving daemon opens a child span under ``span``.
+    trace: Optional[Dict[str, int]] = None
     #: Epoch piggybacking: daemons stamp outgoing messages with the map
     #: epochs they know about, which is how peers discover they are
     #: stale and trigger gossip fetches (paper section 4.4).

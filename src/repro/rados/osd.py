@@ -77,6 +77,10 @@ class OSD(Daemon, MonitorClient):
         #: interface version becomes live on this OSD.
         self.interface_live_hook: Optional[
             Callable[[str, int, float], None]] = None
+        self.perf.gauge_fn("pg.count", lambda: len(self.pgs))
+        self.perf.gauge_fn(
+            "object.count",
+            lambda: sum(len(objs) for objs in self.pgs.values()))
 
         rh = self.register_handler
         #: (pool, oid) -> set of watcher client names (volatile; clients
@@ -207,6 +211,7 @@ class OSD(Daemon, MonitorClient):
             self.registry.install_dynamic(
                 name, entry["version"], entry["source"],
                 category=entry.get("category", "other"))
+            self.perf.incr("interface.install")
         except MalacologyError as exc:
             self.spawn(self.mon_log("ERR",
                                     f"interface {name} install failed: "
@@ -231,9 +236,20 @@ class OSD(Daemon, MonitorClient):
         pgid = pg_of(oid, m.pool(pool)["pg_num"])
         acting = acting_set(m, pool, pgid)
         if not acting or acting[0] != self.name:
+            self.perf.incr("op.not_primary")
             raise NotPrimary(
                 f"{self.name} is not primary for {pool}/{pgid} "
                 f"(epoch {m.epoch})")
+        self.perf.incr("op.in")
+        for op in ops:
+            if op.get("op") == "exec":
+                # Per-objclass accounting: the paper's argument is that
+                # co-designed interfaces live *in* the OSD; count them
+                # where they run.
+                self.perf.incr(
+                    f"objclass.{op.get('cls')}.{op.get('method')}")
+            else:
+                self.perf.incr(f"osdop.{op.get('op')}")
         if "ec" in m.pool(pool):
             result = yield from self._ec_op(pool, pgid, oid, ops,
                                             acting, m.pool(pool)["ec"])
@@ -266,6 +282,7 @@ class OSD(Daemon, MonitorClient):
             "state": None if removed else new_obj.to_dict(),
             "removed": removed,
         }
+        self.perf.incr("repop.tx", len(replicas))
         futs = [self.call(r, "osd_repop", payload,
                           timeout=self.REPOP_TIMEOUT) for r in replicas]
         for rep, fut in zip(replicas, futs):
@@ -288,6 +305,7 @@ class OSD(Daemon, MonitorClient):
                 raise NotPrimary(
                     f"{src} is not primary for {pool}/{pgid} by "
                     f"epoch {m.epoch}")
+        self.perf.incr("repop.rx")
         pg = self.pgs.setdefault((pool, pgid), {})
         if payload["removed"]:
             pg.pop(payload["oid"], None)
@@ -326,6 +344,7 @@ class OSD(Daemon, MonitorClient):
             acked = True
             for target in targets:
                 try:
+                    self.perf.incr("recovery.push")
                     yield self.call(target, "pg_push", payload,
                                     timeout=self.REPOP_TIMEOUT)
                 except MalacologyError:
@@ -355,6 +374,7 @@ class OSD(Daemon, MonitorClient):
                         objects.pop(oid)
 
     def _h_pg_push(self, src: str, payload: Dict[str, Any]) -> bool:
+        self.perf.incr("recovery.rx")
         pg = self.pgs.setdefault((payload["pool"], payload["pg"]), {})
         force = payload.get("force", False)
         for oid, state in payload["objects"].items():
@@ -575,6 +595,7 @@ class OSD(Daemon, MonitorClient):
 
     def _scrub_pg(self, pool: str, pgid: int,
                   replicas: List[str]) -> Generator:
+        self.perf.incr("scrub.run")
         mine = {oid: obj.digest()
                 for oid, obj in self.pgs.get((pool, pgid), {}).items()}
         for rep in replicas:
@@ -598,6 +619,7 @@ class OSD(Daemon, MonitorClient):
         try:
             yield self.call(rep, "pg_push", payload,
                             timeout=self.REPOP_TIMEOUT)
+            self.perf.incr("scrub.repair")
             yield from self.mon_log(
                 "WRN", f"scrub repaired {pool}/{pgid} on {rep}")
         except MalacologyError:
@@ -611,6 +633,7 @@ class OSD(Daemon, MonitorClient):
     # Crash / restart
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
+        super().on_crash()  # telemetry is volatile
         # pgs (disk) survive; everything else is volatile.
         self.booted = False
         self.watchers = {}

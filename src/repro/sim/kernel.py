@@ -138,6 +138,11 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         self._failures: list = []
         self._stopped = False
+        #: Telemetry attachment point: ``TraceCollector.of(sim)``
+        #: installs the cluster-wide span collector here so every
+        #: daemon on this simulator shares one causally-consistent
+        #: trace store timed on this clock.
+        self.trace_collector: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock and randomness

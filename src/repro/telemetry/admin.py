@@ -1,0 +1,59 @@
+"""The admin-socket command surface (Ceph: ``ceph daemon <name> ...``).
+
+Real Ceph daemons expose a UNIX-domain admin socket answering ``perf
+dump``, ``perf reset``, and friends *out of band* — it works even when
+the cluster is wedged.  Here the analog is
+:meth:`~repro.msg.daemon.Daemon.admin_command`: a direct, simulator-
+time-free invocation on the daemon object.  The same commands are also
+registered as RPC handlers so daemons and tests can query each other
+in-band through the message layer.
+
+Standard commands installed on every daemon:
+
+* ``telemetry.dump``  — the full :class:`PerfCounters` registry as JSON;
+* ``telemetry.reset`` — clear recorded counter values;
+* ``telemetry.trace`` — list trace ids, or dump/render one span tree:
+  ``{"trace_id": N}`` for the nested tree, plus ``{"render": true}``
+  for the human-readable form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import InvalidArgument
+
+#: Commands every daemon answers, both via ``admin_command`` and RPC.
+STANDARD_COMMANDS = ("telemetry.dump", "telemetry.reset",
+                     "telemetry.trace")
+
+
+def install_telemetry_commands(daemon: Any) -> None:
+    """Register the standard telemetry commands on one daemon."""
+    daemon.register_admin_command("telemetry.dump",
+                                  lambda args: daemon.perf.dump())
+    daemon.register_admin_command("telemetry.reset",
+                                  lambda args: _reset(daemon))
+    daemon.register_admin_command("telemetry.trace",
+                                  lambda args: trace_query(daemon.tracer,
+                                                           args))
+
+
+def _reset(daemon: Any) -> Dict[str, Any]:
+    daemon.perf.reset()
+    return {"reset": daemon.name}
+
+
+def trace_query(tracer: Any, args: Optional[Dict[str, Any]]) -> Any:
+    """Answer a ``telemetry.trace`` command against one collector."""
+    args = args or {}
+    trace_id = args.get("trace_id")
+    if trace_id is None:
+        return {"traces": tracer.trace_ids()}
+    if trace_id not in tracer.trace_ids():
+        raise InvalidArgument(f"unknown trace id {trace_id}")
+    if args.get("render"):
+        return tracer.render(trace_id)
+    if args.get("critical_path"):
+        return tracer.critical_path(trace_id)
+    return tracer.tree(trace_id)

@@ -82,6 +82,40 @@ class Cdf:
         return out
 
 
+class DecayCounter:
+    """Exponentially decayed event counter (CephFS's DecayCounter).
+
+    Shared by the MDS load tracker and the telemetry rate counters;
+    lives here so ``repro.telemetry`` never has to import a daemon
+    package.
+    """
+
+    def __init__(self, halflife: float = 5.0):
+        if halflife <= 0:
+            raise ValueError("halflife must be positive")
+        self._lambda = math.log(2.0) / halflife
+        self._value = 0.0
+        self._last = 0.0
+
+    def hit(self, now: float, amount: float = 1.0) -> None:
+        self._decay_to(now)
+        self._value += amount
+
+    def get(self, now: float) -> float:
+        self._decay_to(now)
+        return self._value
+
+    def scale(self, factor: float) -> None:
+        """Scale the counter (used when splitting load across exports)."""
+        self._value *= factor
+
+    def _decay_to(self, now: float) -> None:
+        dt = now - self._last
+        if dt > 0:
+            self._value *= math.exp(-self._lambda * dt)
+            self._last = now
+
+
 class OnlineStats:
     """Single-pass mean/variance/min/max accumulator (Welford)."""
 

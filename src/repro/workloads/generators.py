@@ -36,7 +36,6 @@ class SequencerWorkload:
         self.total = ThroughputSeries(window=window)
         self.per_seq: List[ThroughputSeries] = [
             ThroughputSeries(window=window) for _ in range(num_sequencers)]
-        self.latencies: List[float] = []
         self._procs: List[Any] = []
         self._clients: List[Any] = []
         self._stop = False
@@ -80,15 +79,17 @@ class SequencerWorkload:
                 self._procs.append(proc)
 
     def _client_loop(self, client: Any, seq_idx: int) -> Generator:
+        # Per-op latency lands in each client's "seq.next" telemetry
+        # tracker (recorded inside seq_next itself); only the
+        # throughput binning stays here, since it is windowed by
+        # completion *time*, which counters do not keep.
         path = self.seq_path(seq_idx)
         while not self._stop:
-            started = client.sim.now
             try:
                 yield from client.seq_next(path)
             except MalacologyError:
                 continue  # transient (migration freeze etc.); retry
             now = client.sim.now
-            self.latencies.append(now - started)
             self.total.record(now)
             self.per_seq[seq_idx].record(now)
 
@@ -99,6 +100,12 @@ class SequencerWorkload:
         self._procs.clear()
 
     # ------------------------------------------------------------------
+    @property
+    def latencies(self) -> List[float]:
+        """All per-op latencies, pulled from client telemetry."""
+        return [s for c in self._clients
+                for s in c.perf.samples("seq.next")]
+
     def mean_rate(self, start: float = 0.0,
                   end: float = float("inf")) -> float:
         return self.total.mean_rate(start, end)
@@ -108,8 +115,9 @@ class LeaseContentionWorkload:
     """A few clients contending for ONE cacheable sequencer.
 
     Per-client position traces land in each client's ``seq_trace``
-    (used for the Figure 5 interleaving analysis); per-op latencies are
-    collected per client for Figures 6 and 7.
+    (used for the Figure 5 interleaving analysis); per-op latencies
+    come from each client's ``seq.next`` telemetry tracker — the
+    workload keeps no accounting of its own.
     """
 
     def __init__(self, cluster: Any, clients: int = 2,
@@ -118,8 +126,6 @@ class LeaseContentionWorkload:
         self.num_clients = clients
         self.path = path
         self.clients: List[Any] = []
-        self.latencies: List[List[float]] = [[] for _ in range(clients)]
-        self.ops_done = [0] * clients
         self._procs: List[Any] = []
         self._stop = False
 
@@ -150,19 +156,25 @@ class LeaseContentionWorkload:
 
     def _loop(self, client: Any, idx: int) -> Generator:
         while not self._stop:
-            started = client.sim.now
             try:
                 yield from client.seq_next(self.path)
             except MalacologyError:
                 continue
-            self.latencies[idx].append(client.sim.now - started)
-            self.ops_done[idx] += 1
 
     def stop(self) -> None:
         self._stop = True
         for proc in self._procs:
             proc.cancel()
         self._procs.clear()
+
+    @property
+    def latencies(self) -> List[List[float]]:
+        """Per-client latency samples, from client telemetry."""
+        return [c.perf.samples("seq.next") for c in self.clients]
+
+    @property
+    def ops_done(self) -> List[int]:
+        return [c.perf.latency("seq.next").count for c in self.clients]
 
     def all_latencies(self) -> List[float]:
         return [lat for per_client in self.latencies for lat in per_client]

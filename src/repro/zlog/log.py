@@ -85,8 +85,14 @@ class ZLog:
     # Data path
     # ------------------------------------------------------------------
     def append(self, data: Any) -> Generator:
-        """Append one entry; returns its log position."""
+        """Append one entry; returns its log position.
+
+        End-to-end latency lands in the client's ``zlog.append``
+        telemetry tracker (samples retained for CDFs); epoch races and
+        slot collisions are counted separately.
+        """
         c = self.client
+        started = c.sim.now
         for _ in range(self.MAX_APPEND_RETRIES):
             pos = yield from c.seq_next(sequencer_path(self.name))
             try:
@@ -94,16 +100,20 @@ class ZLog:
                     self.layout.pool, self.layout.object_of(pos),
                     "zlog", "write",
                     {"epoch": self.epoch, "pos": pos, "data": data})
+                c.perf.time("zlog.append", c.sim.now - started,
+                            retain=True)
                 return pos
             except StaleEpoch:
                 # Sealed underneath us: adopt the new epoch, get a fresh
                 # tail from the (recovered) sequencer, try again.
+                c.perf.incr("zlog.append.stale")
                 yield from self.refresh_epoch()
             except ReadOnly:
                 # Someone beat us to this slot — a duplicate position
                 # after a sequencer holder died with unflushed state.
                 # Push the sequencer past the collision (it can only
                 # ever move forward) and take a fresh position.
+                c.perf.incr("zlog.append.conflict")
                 yield from c.fs_exec(sequencer_path(self.name),
                                      "set_min_tail", {"tail": pos + 1})
                 continue
@@ -115,6 +125,7 @@ class ZLog:
         result = yield from self.client.rados_exec(
             self.layout.pool, self.layout.object_of(position),
             "zlog", "read", {"epoch": self.epoch, "pos": position})
+        self.client.perf.incr("zlog.read")
         return result
 
     def fill(self, position: int) -> Generator:
@@ -122,11 +133,13 @@ class ZLog:
         yield from self.client.rados_exec(
             self.layout.pool, self.layout.object_of(position),
             "zlog", "fill", {"epoch": self.epoch, "pos": position})
+        self.client.perf.incr("zlog.fill")
 
     def trim(self, position: int) -> Generator:
         yield from self.client.rados_exec(
             self.layout.pool, self.layout.object_of(position),
             "zlog", "trim", {"epoch": self.epoch, "pos": position})
+        self.client.perf.incr("zlog.trim")
 
     def tail(self) -> Generator:
         """Current tail (next position to be issued) from the sequencer."""

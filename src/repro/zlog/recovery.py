@@ -45,9 +45,11 @@ def recover_log(log: ZLog) -> Generator:
         except StaleEpoch:
             # A concurrent recovery installed a higher epoch; defer to
             # it — our seal (and sequencer reset) must not proceed.
+            c.perf.incr("zlog.seal.lost_race")
             yield from log.refresh_epoch()
             tail = yield from c.seq_read(sequencer_path(log.name))
             return log.epoch, tail
+        c.perf.incr("zlog.seal")
         max_pos = max(max_pos, result["max_pos"])
 
     new_tail = max_pos + 1

@@ -1,0 +1,134 @@
+"""Integration tests: telemetry on a full booted cluster.
+
+The acceptance bar from the telemetry issue: after a workload,
+``telemetry.dump`` on any daemon returns non-empty counters, and one
+traced ZLog append yields a span tree showing the client → sequencer
+(MDS capability) → OSD objclass hops in simulated time.
+"""
+
+import pytest
+
+from repro.core import MalacologyCluster
+from repro.zlog import ZLog
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return MalacologyCluster.build(osds=3, mdss=1, seed=41)
+
+
+@pytest.fixture(scope="module")
+def log(cluster):
+    client = cluster.new_client("zl")
+    log = ZLog(client, "tlog")
+    cluster.sim.run_until_complete(
+        client.do(log.create(), name="create"))
+    return log
+
+
+def test_dump_nonempty_on_every_daemon_after_workload(cluster, log):
+    client = log.client
+    for _ in range(5):
+        cluster.sim.run_until_complete(
+            client.do(log.append({"n": 1}), name="append"))
+    dump = cluster.telemetry_dump()
+    assert set(dump) == {d.name for d in cluster.daemons()}
+    for mon in cluster.mons:
+        assert dump[mon.name]["counters"], mon.name
+    for osd in cluster.osds:
+        assert dump[osd.name]["counters"], osd.name
+    for mds in cluster.mdss:
+        assert dump[mds.name]["counters"], mds.name
+    # The consensus and data paths both showed up where they should.
+    leader = cluster.leader_monitor()
+    assert dump[leader.name]["counters"]["paxos.commit"] > 0
+    assert any("objclass.zlog.write" in dump[o.name]["counters"]
+               for o in cluster.osds)
+    # Client-side telemetry: append latencies were retained.
+    assert client.perf.latency("zlog.append").count == 5
+    assert len(client.perf.samples("zlog.append")) == 5
+
+
+def test_traced_zlog_append_spans_client_mds_osd(cluster, log):
+    client = log.client
+    proc = client.do(client.traced(log.append({"n": 2}), "zlog.append"),
+                     name="traced-append")
+    cluster.sim.run_until_complete(proc)
+
+    collector = cluster.sim.trace_collector
+    trace_id = collector.trace_ids()[-1]
+    spans = collector.spans(trace_id)
+    daemons_hit = {s.daemon for s in spans}
+    # The append touched the client (root), at least one OSD (objclass
+    # write), and — unless the cap was already cached — the MDS.
+    assert client.name in daemons_hit
+    assert any(d.startswith("osd") for d in daemons_hit)
+    root = spans[0]
+    assert root.name == "zlog.append" and root.parent_id is None
+    assert all(s.start >= root.start for s in spans)
+    assert all(s.end is not None and s.end <= root.end for s in spans)
+    # The OSD op span is a descendant of the root through real hops.
+    by_id = {s.span_id: s for s in spans}
+    osd_spans = [s for s in spans if s.name == "osd_op"]
+    assert osd_spans
+    cursor = osd_spans[0]
+    chain = [cursor.daemon]
+    while cursor.parent_id is not None:
+        cursor = by_id[cursor.parent_id]
+        chain.append(cursor.daemon)
+    assert chain[-1] == client.name
+    # Rendering mentions the objclass hop with simulated timings.
+    rendered = cluster.telemetry_trace(trace_id, render=True)
+    assert "osd_op" in rendered and "us" in rendered
+    # The critical path runs from the root down to a leaf.
+    path = collector.critical_path(trace_id)
+    assert path[0]["name"] == "zlog.append"
+    assert len(path) >= 2
+
+
+def test_cap_grant_traced_through_mds(cluster):
+    # A fresh client's first seq_next must take the MDS grant path, so
+    # the trace shows the sequencer-capability hop explicitly.
+    client = cluster.new_client("fresh")
+    log2 = ZLog(client, "tlog2")
+    cluster.sim.run_until_complete(
+        client.do(log2.create(), name="create2"))
+
+    def op():
+        yield from log2.append({"first": True})
+
+    proc = client.do(client.traced(op(), "first-append"), name="first")
+    cluster.sim.run_until_complete(proc)
+    collector = cluster.sim.trace_collector
+    trace_id = collector.trace_ids()[-1]
+    names = {s.name for s in collector.spans(trace_id)}
+    assert "mds_req" in names  # the capability grant hop
+    assert "osd_op" in names   # the objclass write hop
+
+
+def test_cluster_reset_clears_counters_and_traces(cluster, log):
+    client = log.client
+    cluster.sim.run_until_complete(
+        client.do(log.append({"n": 3}), name="append"))
+    assert any(d["counters"] for d in cluster.telemetry_dump().values())
+    cluster.telemetry_reset()
+    dump = cluster.telemetry_dump()
+    assert all(d["counters"] == {} for d in dump.values())
+    assert cluster.telemetry_trace() == {"traces": []}
+
+
+def test_osd_crash_resets_its_counters_only(cluster, log):
+    client = log.client
+    for _ in range(3):
+        cluster.sim.run_until_complete(
+            client.do(log.append({"n": 4}), name="append"))
+    victim = next(o for o in cluster.osds
+                  if o.perf.get("op.in") > 0)
+    survivor = next(d for d in cluster.daemons()
+                    if d is not victim and d.perf.nonzero())
+    victim.crash()
+    assert not victim.perf.nonzero()
+    assert survivor.perf.nonzero()  # a crash is local, not cluster-wide
+    victim.restart()
+    cluster.run(5.0)  # let it boot and rejoin
+    assert victim.alive

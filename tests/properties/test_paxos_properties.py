@@ -37,8 +37,15 @@ def test_agreement_under_arbitrary_schedules(steps):
     # proposer state: what each proposer would propose per instance.
     chosen = {}  # instance -> value, first quorum-accepted
 
-    # Track per (instance, pid) accept counts to detect choices.
-    accept_counts = {}
+    # Per-proposer phase-1 state: a legal proposer only issues accepts
+    # after a prepare that gathered a quorum of promises, and must
+    # re-propose the highest-pid value that prepare adopted.
+    prepared = {}  # proposer -> (pid, adopted)
+
+    # Track which DISTINCT acceptors accepted each (instance, pid,
+    # value); re-delivering an accept to the same acceptor must not
+    # count twice toward a quorum.
+    accepted_by = {}
 
     for action, proposer, rnd, instance, targets in steps:
         pid = (rnd, proposer)
@@ -52,27 +59,24 @@ def test_agreement_under_arbitrary_schedules(steps):
                     for inst, (apid, aval) in rep.accepted.items():
                         if inst not in adopted or apid > adopted[inst][0]:
                             adopted[inst] = (apid, aval)
+            if len(promised) >= QUORUM:
+                prepared[proposer] = (pid, adopted)
         else:
-            # Proposers must re-propose any adopted value; to stay
-            # adversarial but legal we derive the value from the
-            # highest accepted value visible to this proposer through
-            # its own prepare — modelled simply: if any acceptor in the
-            # target set has accepted something for this instance with
-            # a lower pid, propose that value, else a fresh one.
-            visible = [
-                acceptors[t].accepted.get(instance) for t in targets]
-            visible = [v for v in visible if v is not None]
-            if visible:
-                value = max(visible, key=lambda pv: pv[0])[1]
+            state = prepared.get(proposer)
+            if state is None:
+                continue  # never accepts before completing phase 1
+            ppid, adopted = state
+            if instance in adopted:
+                value = adopted[instance][1]
             else:
-                value = f"v-{proposer}-{rnd}-{instance}"
+                value = f"v-{proposer}-{ppid[0]}-{instance}"
+            key = (instance, ppid, value)
             for t in targets:
                 ok = acceptors[t].handle_accept(
-                    Proposal(instance, pid, value))
+                    Proposal(instance, ppid, value))
                 if ok:
-                    key = (instance, pid, value)
-                    accept_counts[key] = accept_counts.get(key, 0) + 1
-                    if accept_counts[key] >= QUORUM:
+                    accepted_by.setdefault(key, set()).add(t)
+                    if len(accepted_by[key]) >= QUORUM:
                         if instance in chosen:
                             assert chosen[instance] == value, (
                                 "agreement violated")
