@@ -10,8 +10,9 @@ the substrate is a simulator rather than the authors' testbed.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -26,6 +27,35 @@ def emit(name: str, lines: Iterable[str]) -> str:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return path
+
+
+def emit_json(name: str, payload: Dict[str, Any],
+              cluster: Optional[Any] = None) -> str:
+    """Persist a machine-readable result under ``results/<name>.json``.
+
+    ``payload`` carries the benchmark's own summary (throughput,
+    latency, whatever the figure measures).  When a cluster is passed,
+    its end-of-run health report is appended — out-of-band, so the
+    measured run is unchanged.
+    """
+    doc = {"benchmark": name, **payload}
+    if cluster is not None:
+        doc["cluster_health"] = _cluster_health(cluster)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True, default=str)
+        fh.write("\n")
+    return path
+
+
+def _cluster_health(cluster: Any) -> Dict[str, Any]:
+    try:
+        report = cluster.health()
+    except Exception as exc:  # a dead cluster is itself a result
+        return {"status": "HEALTH_ERR",
+                "error": f"{type(exc).__name__}: {exc}"}
+    return report
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:

@@ -16,7 +16,7 @@ decisions — and its bar — wobble.
 
 import statistics
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import LoadBalancingInterface, MalacologyCluster
 from repro.mantle import attach_balancers, builtin
@@ -44,17 +44,20 @@ def run_one(source, seed):
     workload.start()
     cluster.run(DURATION)
     workload.stop()
-    return workload.mean_rate(start + DURATION - 30, start + DURATION)
+    rate = workload.mean_rate(start + DURATION - 30, start + DURATION)
+    return rate, cluster.health()
 
 
 def run_experiment():
     results = {}
     for mode, source in MODES.items():
-        samples = [run_one(source, seed) for seed in SEEDS]
+        runs = [run_one(source, seed) for seed in SEEDS]
+        samples = [rate for rate, _ in runs]
         results[mode] = {
             "mean": statistics.mean(samples),
             "stdev": statistics.stdev(samples),
             "samples": samples,
+            "health": runs[-1][1],
         }
     return results
 
@@ -70,6 +73,7 @@ def test_fig10a_balancing_modes(benchmark):
     lines.append("paper: the three CephFS modes perform the same; CPU "
                  "mode has high variance; Mantle is best and stable")
     emit("fig10a_balancing_modes", lines)
+    emit_json("fig10a_balancing_modes", {"modes": results})
 
     # The deterministic CephFS modes (workload, hybrid) are
     # indistinguishable — same structure, same decisions.

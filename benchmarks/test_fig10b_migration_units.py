@@ -14,7 +14,7 @@ without the division.  Here we apply the unit explicitly so the four
 bars are controlled, as the figure does.
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import LoadBalancingInterface, MalacologyCluster
 from repro.workloads import SequencerWorkload
@@ -40,20 +40,23 @@ def run_config(mode, unit, seed=111):
             source_mds.migrate_subtree(workload.seq_path(idx), 1)))
     cluster.run(DURATION - MIGRATE_AT)
     workload.stop()
-    return workload.mean_rate(start + MIGRATE_AT + 10, start + DURATION)
+    rate = workload.mean_rate(start + MIGRATE_AT + 10, start + DURATION)
+    return rate, cluster.health()
 
 
 def run_experiment():
-    return {
-        ("client", "half"): run_config("client", "half"),
-        ("client", "full"): run_config("client", "full"),
-        ("proxy", "half"): run_config("proxy", "half"),
-        ("proxy", "full"): run_config("proxy", "full"),
-    }
+    rates = {}
+    healths = {}
+    for mode in ("client", "proxy"):
+        for unit in ("half", "full"):
+            rates[(mode, unit)], healths[(mode, unit)] = run_config(
+                mode, unit)
+    return rates, healths
 
 
 def test_fig10b_migration_units(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results, healths = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
     rows = [(mode, unit, f"{rate:.0f}")
             for (mode, unit), rate in results.items()]
     lines = table(["mode", "migration unit", "steady ops/s"], rows)
@@ -68,6 +71,10 @@ def test_fig10b_migration_units(benchmark):
                  "capacity still serves the unmigrated sequencer "
                  "(see EXPERIMENTS.md)")
     emit("fig10b_migration_units", lines)
+    emit_json("fig10b_migration_units", {"configs": {
+        f"{mode}/{unit}": {"steady_ops": rate,
+                           "health": healths[(mode, unit)]}
+        for (mode, unit), rate in results.items()}})
 
     ch = results[("client", "half")]
     cf = results[("client", "full")]

@@ -14,7 +14,7 @@ improves dramatically" — total cluster throughput is the highest.
 client sessions are spread).
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import LoadBalancingInterface, MalacologyCluster
 from repro.workloads import SequencerWorkload
@@ -48,6 +48,7 @@ def run_config(mode, seed=121):
         "seq2_post": workload.per_seq[1].mean_rate(*window),
         "total_post": workload.total.mean_rate(*window),
         "workload": workload,
+        "health": cluster.health(),
     }
 
 
@@ -79,6 +80,9 @@ def test_fig12_proxy_vs_client(benchmark):
     lines.append("paper: proxy = seq 1 improves dramatically, seq 2 "
                  "dips, best total; client = more fair, lower total")
     emit("fig12_proxy_vs_client", lines)
+    emit_json("fig12_proxy_vs_client", {"modes": {
+        mode: {k: v for k, v in r.items() if k != "workload"}
+        for mode, r in results.items()}})
 
     proxy, client = results["proxy"], results["client"]
     # Proxy mode: the migrated sequencer improves dramatically...

@@ -9,7 +9,7 @@ history; we regenerate the series from the transcribed dataset and
 assert the acceleration property plus the Table-1-consistent totals.
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.data import growth_series
 from repro.data.ceph_survey import TOTAL_METHODS, is_accelerating
@@ -28,6 +28,10 @@ def test_fig2_interface_growth(benchmark):
     lines.append(f"paper 2016 totals: 28 classes / {TOTAL_METHODS} methods"
                  " (Table 1 categories sum)")
     emit("fig2_interface_growth", lines)
+    emit_json("fig2_interface_growth", {
+        "series": [list(row) for row in series],
+        "total_methods": TOTAL_METHODS,
+    })
 
     # Shape: the series is cumulative (monotone) ...
     for (y0, c0, m0), (y1, c1, m1) in zip(series, series[1:]):

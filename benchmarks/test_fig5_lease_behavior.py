@@ -13,7 +13,7 @@ the capability moved) — the quantitative core of the dot plot.
 """
 
 import pytest
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import MalacologyCluster
 from repro.workloads import LeaseContentionWorkload, interleaving_runs
@@ -44,6 +44,7 @@ def run_experiment():
             "exchanges": len(runs),
             "mean_run": sum(runs) / max(len(runs), 1),
             "per_client": list(workload.ops_done),
+            "health": cluster.health(),
         }
     return results
 
@@ -65,6 +66,7 @@ def test_fig5_lease_behavior(benchmark):
     lines.append("paper: best-effort = heavy interleaving & lost time; "
                  "delay = long holds; quota = runs of ~quota ops")
     emit("fig5_lease_behavior", lines)
+    emit_json("fig5_lease_behavior", {"configs": results})
 
     be, dl, qt = (results["best-effort"], results["delay"],
                   results["quota"])

@@ -8,7 +8,7 @@ The top end is bounded by what a single client with an exclusive,
 cacheable capability achieves.
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import MalacologyCluster
 from repro.workloads import LeaseContentionWorkload
@@ -35,6 +35,7 @@ def run_one(quota, clients=2, seed=62):
         "mean_latency": sum(t.sum for t in tracker) / count,
         "cap_grants": mds_counters.get("cap.grant", 0),
         "cap_revokes": mds_counters.get("cap.revoke", 0),
+        "health": cluster.health(),
     }
 
 
@@ -58,6 +59,9 @@ def test_fig6_throughput_latency(benchmark):
     lines.append("paper: throughput rises and latency falls as the quota "
                  "grows; exclusive single client is the ceiling")
     emit("fig6_throughput_latency", lines)
+    emit_json("fig6_throughput_latency",
+              {"configs": {str(q): results[q]
+                           for q in QUOTAS + ["single-client"]}})
 
     thr = [results[q]["throughput"] for q in QUOTAS]
     lat = [results[q]["mean_latency"] for q in QUOTAS]

@@ -8,7 +8,7 @@ capability" — i.e. the mass of operations are local-cache fast, the
 tail is capability hand-off.
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import MalacologyCluster
 from repro.util.stats import Cdf
@@ -24,6 +24,7 @@ CONFIGS = [
 
 def run_experiment():
     results = {}
+    healths = {}
     for label, kwargs in CONFIGS:
         cluster = MalacologyCluster.build(osds=3, mdss=1, seed=63)
         workload = LeaseContentionWorkload(cluster, clients=2)
@@ -36,11 +37,13 @@ def run_experiment():
         # so the CDF's extreme tail (p99.999, max) is exact.
         results[label] = Cdf(s for c in workload.clients
                              for s in c.perf.samples("seq.next"))
-    return results
+        healths[label] = cluster.health()
+    return results, healths
 
 
 def test_fig7_latency_cdf(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results, healths = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
     quantiles = [0.50, 0.90, 0.99, 0.999, 0.99999]
     rows = []
     for label, cdf in results.items():
@@ -53,6 +56,12 @@ def test_fig7_latency_cdf(benchmark):
     lines.append("paper: p99 < 1 ms for every config; heavy outliers "
                  "beyond p99.999 from capability re-distribution")
     emit("fig7_latency_cdf", lines)
+    emit_json("fig7_latency_cdf", {"configs": {
+        label: {"quantiles": {str(q): cdf.quantile(q)
+                              for q in quantiles},
+                "max": cdf.max, "samples": len(cdf),
+                "health": healths[label]}
+        for label, cdf in results.items()}})
 
     for label, cdf in results.items():
         # The paper's headline: sub-millisecond access at the 99th pct.

@@ -17,7 +17,7 @@ paper's numbers suggest.  We run 150 updates on the 120-OSD cluster
 """
 
 import pytest
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import MalacologyCluster
 from repro.rados.osd import OSD
@@ -66,7 +66,7 @@ def run_propagation():
                 raise AssertionError(
                     f"update {version} reached only {len(arrived)}/"
                     f"{OSD_COUNT} OSDs")
-        return Cdf(samples)
+        return Cdf(samples), cluster.health()
     finally:
         OSD.PING_INTERVAL = old_ping
 
@@ -88,14 +88,14 @@ def run_proposal_interval(interval, writes=30):
 
 
 def run_experiment():
-    cdf = run_propagation()
+    cdf, health = run_propagation()
     default_commit = run_proposal_interval(1.0)
     tuned_commit = run_proposal_interval(0.35)
-    return cdf, default_commit, tuned_commit
+    return cdf, default_commit, tuned_commit, health
 
 
 def test_fig8_propagation(benchmark):
-    cdf, default_commit, tuned_commit = benchmark.pedantic(
+    cdf, default_commit, tuned_commit, health = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1)
     rows = [(f"p{q * 100:g}", f"{cdf.quantile(q) * 1e3:.1f} ms")
             for q in (0.5, 0.9, 0.99, 1.0)]
@@ -109,6 +109,14 @@ def test_fig8_propagation(benchmark):
     lines.append(f"proposal interval 0.35 s (tuned):  mean commit "
                  f"{tuned_commit * 1e3:.0f} ms (paper: 222 ms)")
     emit("fig8_propagation", lines)
+    emit_json("fig8_propagation", {
+        "propagation": {"quantiles": {str(q): cdf.quantile(q)
+                                      for q in (0.5, 0.9, 0.99, 1.0)},
+                        "samples": len(cdf)},
+        "commit_latency": {"default_1.0s": default_commit,
+                           "tuned_0.35s": tuned_commit},
+        "health": health,
+    })
 
     # Shape: overwhelming majority of OSDs go live within tens of ms.
     assert cdf.quantile(0.9) < 0.150

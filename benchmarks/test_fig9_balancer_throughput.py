@@ -11,7 +11,7 @@ realizes that there is a third underloaded server, and does another
 migration") but ends higher and more stable.
 """
 
-from bench_util import emit, table
+from bench_util import emit, emit_json, table
 
 from repro.core import LoadBalancingInterface, MalacologyCluster
 from repro.mantle import attach_balancers, builtin
@@ -44,6 +44,10 @@ def run_config(config):
         "steady": workload.mean_rate(start + DURATION - 30,
                                      start + DURATION),
         "workload": workload,
+        "health": cluster.health(),
+        "audit": [rec for mds in cluster.mdss
+                  for rec in mds.balancer.audit.records()
+                  if rec.get("moves")],
     }
 
 
@@ -69,6 +73,9 @@ def test_fig9_balancer_throughput(benchmark):
     lines.append("paper: No Balancing flat; CephFS jumps at the 10 s "
                  "tick; Mantle stabilizes later but higher")
     emit("fig9_balancer_throughput", lines)
+    emit_json("fig9_balancer_throughput", {"configs": {
+        config: {k: v for k, v in r.items() if k != "workload"}
+        for config, r in results.items()}})
 
     none, cephfs, mantle = (results["no-balancing"], results["cephfs"],
                             results["mantle"])

@@ -14,8 +14,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional
 
+from repro.errors import MalacologyError
 from repro.mds.client import FsClient
 from repro.mds.server import MDS, METADATA_POOL
+from repro.mgr.daemon import MgrDaemon
+from repro.mgr.health import (
+    HealthCheck,
+    default_checks,
+    evaluate_health,
+    sample_cluster,
+)
 from repro.monitor.monitor import Monitor, MonitorClient
 from repro.msg import Daemon
 from repro.rados.client import RadosClient
@@ -56,6 +64,7 @@ class MalacologyCluster:
         self.osds = osds
         self.mdss = mdss
         self.admin = admin
+        self.mgr: Optional[MgrDaemon] = None
         self._client_seq = 0
 
     # ------------------------------------------------------------------
@@ -66,7 +75,8 @@ class MalacologyCluster:
               seed: int = 0, proposal_interval: float = 0.1,
               pools: Optional[Dict[str, Dict[str, Any]]] = None,
               latency: Optional[LatencyModel] = None,
-              mon_backing: str = "ram") -> "MalacologyCluster":
+              mon_backing: str = "ram", mgr: bool = False,
+              mgr_interval: float = 2.0) -> "MalacologyCluster":
         sim = Simulator(seed=seed)
         net = Network(sim, latency=latency or lan_latency())
         mon_names = [f"mon{i}" for i in range(mons)]
@@ -92,9 +102,39 @@ class MalacologyCluster:
                        for i in range(mdss)]
         _settle(sim, lambda: all(m.booted for m in mds_daemons),
                 "MDS boot")
+        cluster = cls(sim=sim, net=net, mons=monitors,
+                      osds=osd_daemons, mdss=mds_daemons, admin=admin)
+        if mgr:
+            # Created before the settle window so the mgr boots during
+            # it.  Because the mgr's traffic never touches the shared
+            # network RNG stream (endpoint latency override) and its
+            # ticker is jitter-free, the other daemons' schedules are
+            # identical with or without it.
+            cluster.enable_mgr(interval=mgr_interval)
         sim.run(until=sim.now + 1.0)  # let maps settle everywhere
-        return cls(sim=sim, net=net, mons=monitors, osds=osd_daemons,
-                   mdss=mds_daemons, admin=admin)
+        return cluster
+
+    def enable_mgr(self, interval: float = 2.0,
+                   checks: Optional[List[HealthCheck]] = None,
+                   name: str = "mgr0") -> MgrDaemon:
+        """Attach a manager daemon scraping every booted daemon.
+
+        Does not advance simulated time; run the sim (or call
+        ``run()``) afterwards to let it boot and scrape.
+        """
+        if self.mgr is not None:
+            return self.mgr
+        targets: Dict[str, str] = {}
+        for m in self.mons:
+            targets[m.name] = "mon"
+        for o in self.osds:
+            targets[o.name] = "osd"
+        for d in self.mdss:
+            targets[d.name] = "mds"
+        self.mgr = MgrDaemon(self.sim, self.net, name, self.mon_names,
+                             targets, checks=checks,
+                             scrape_interval=interval)
+        return self.mgr
 
     # ------------------------------------------------------------------
     # Driving
@@ -122,7 +162,28 @@ class MalacologyCluster:
     # ------------------------------------------------------------------
     def daemons(self) -> List[Daemon]:
         """Every daemon the cluster booted (clients are not included)."""
-        return [*self.mons, *self.osds, *self.mdss, self.admin]
+        extra = [self.mgr] if self.mgr is not None else []
+        return [*self.mons, *self.osds, *self.mdss, *extra, self.admin]
+
+    def daemon_command(self, daemon: str, command: str,
+                       args: Optional[Dict[str, Any]] = None) -> Any:
+        """Admin-socket command by daemon name, with structured errors.
+
+        Never raises for operational failures: an unknown daemon,
+        unknown command, or a daemon-side error comes back as
+        ``{"error": {"code": ..., "message": ...}}`` so callers (and
+        the mgr's own tooling) can act on the code instead of
+        unwinding through exceptions.
+        """
+        by_name = {d.name: d for d in self.daemons()}
+        target = by_name.get(daemon)
+        if target is None:
+            return {"error": {"code": "ENOENT",
+                              "message": f"no such daemon: {daemon!r}"}}
+        try:
+            return target.admin_command(command, args)
+        except MalacologyError as exc:
+            return {"error": {"code": exc.code, "message": str(exc)}}
 
     def telemetry_dump(self) -> Dict[str, Any]:
         """``telemetry.dump`` on every daemon, keyed by daemon name.
@@ -155,6 +216,29 @@ class MalacologyCluster:
         if render:
             args["render"] = True
         return self.admin.admin_command("telemetry.trace", args)
+
+    # ------------------------------------------------------------------
+    # Health (mgr-backed when enabled, out-of-band otherwise)
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Cluster health report (``ceph health detail`` analogue).
+
+        With a mgr: its last scrape's report.  Without one: evaluate
+        the default checks against an out-of-band sample right now —
+        no messages, no simulated time.
+        """
+        if self.mgr is not None and self.mgr.alive:
+            return self.mgr.admin_command("health")
+        sample = sample_cluster(self)
+        return evaluate_health(default_checks(), sample).to_dict()
+
+    def status(self) -> Dict[str, Any]:
+        """``ceph -s`` analogue (requires an enabled mgr)."""
+        if self.mgr is None:
+            raise RuntimeError(
+                "cluster status requires a mgr; build with mgr=True "
+                "or call enable_mgr()")
+        return self.mgr.admin_command("status")
 
     def mds_of_rank(self, rank: int) -> MDS:
         for mds in self.mdss:

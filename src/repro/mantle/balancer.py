@@ -29,11 +29,16 @@ from repro.errors import (
 )
 from repro.mantle.policy import MantlePolicy
 from repro.mds.server import MDS, METADATA_POOL
+from repro.mgr.audit import MantleAuditTrail
 from repro.sim.event import Future, Timeout
 
 
 class MantleBalancer:
     """Balancer instance attached to one MDS."""
+
+    #: Counters whose tick-over-tick deltas the audit trail records —
+    #: the measurable footprint of executing a migration decision.
+    AUDIT_COUNTERS = ("migrate.export", "migrate.inodes", "rpc.tx")
 
     def __init__(self, mds: MDS, default_policy: Optional[MantlePolicy]
                  = None):
@@ -42,7 +47,17 @@ class MantleBalancer:
         self.state: Dict[str, Any] = {}
         #: Bench hook: fn(decision_dict) after each tick that migrated.
         self.decision_hook: Optional[Any] = None
+        #: Decision audit trail; the mgr collects it via the
+        #: ``mantle.audit`` admin command during its scrape.
+        self.audit = MantleAuditTrail()
         mds.balancer = self
+        if not mds.has_admin_command("mantle.audit"):
+            # Resolve through the daemon so re-attaching a balancer
+            # (benchmarks do) always serves the live trail.
+            mds.register_admin_command(
+                "mantle.audit",
+                lambda args: mds.balancer.audit.records(
+                    since_seq=int((args or {}).get("since_seq", 0))))
 
     # ------------------------------------------------------------------
     # Tick
@@ -53,26 +68,50 @@ class MantleBalancer:
         if m is None:
             return
         yield from self._refresh_policy(m)
+        now = mds.sim.now
         if self.policy is None:
+            self.audit.record(now, mds.rank, None, "no-policy")
             return
         table = self._mds_table(m)
         if table is None:
+            self.audit.record(now, mds.rank, self.policy.version,
+                              "no-table")
             return
         try:
             go, targets, routing = self.policy.decide(
                 table, mds.rank, self.state)
         except PolicyError as exc:
+            self.audit.record(now, mds.rank, self.policy.version,
+                              "policy-error", load_table=table,
+                              error=str(exc))
             yield from mds.mon_log(
                 "ERR", f"mantle policy {self.policy.version!r}: {exc}")
             return
+        decision = {
+            "when": bool(go),
+            "targets": list(targets) if go and targets else [],
+            "routing": routing,
+        }
         if routing is not None and routing != m.routing_mode:
             yield from mds.mon_submit([{
                 "op": "map_update", "kind": "mds",
                 "actions": [{"action": "set_routing_mode",
                              "mode": routing}]}])
         if not go:
+            self.audit.record(now, mds.rank, self.policy.version,
+                              "decided", load_table=table,
+                              decision=decision)
             return
-        yield from self._execute_targets(targets)
+        before = {name: mds.perf.get(name)
+                  for name in self.AUDIT_COUNTERS}
+        moves = yield from self._execute_targets(targets)
+        deltas = {name: mds.perf.get(name) - start
+                  for name, start in before.items()
+                  if mds.perf.get(name) != start}
+        self.audit.record(now, mds.rank, self.policy.version,
+                          "decided", load_table=table,
+                          decision=decision, moves=moves,
+                          counter_deltas=deltas)
 
     # ------------------------------------------------------------------
     # Policy loading (versioned + durable)
@@ -160,7 +199,12 @@ class MantleBalancer:
     # ------------------------------------------------------------------
     # Mechanism: targets -> concrete exports
     # ------------------------------------------------------------------
-    def _execute_targets(self, targets: List[float]) -> Generator:
+    def _execute_targets(self, targets: List[float]
+                         ) -> Generator:
+        """Map target loads onto subtrees and export them.
+
+        Returns the moves actually made: ``{target_rank: [paths]}``.
+        """
         mds = self.mds
         now = mds.sim.now
         exportable = [
@@ -198,6 +242,7 @@ class MantleBalancer:
                 "INF", f"mantle: mds.{mds.rank} migrated "
                        f"{sum(len(v) for v in migrated.values())} "
                        f"subtree(s): {migrated}")
+        return migrated
 
 
 def attach_balancers(cluster: Any,

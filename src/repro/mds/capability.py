@@ -142,6 +142,10 @@ class Locker:
         if cap is not None:
             cap.revoking = True
 
+    def revoking_count(self) -> int:
+        """How many grants have a revoke in flight (health gauge)."""
+        return sum(1 for cap in self._caps.values() if cap.revoking)
+
     def release(self, ino: int, client: str, seq: int) -> bool:
         """Process a release; True if it removed the current grant.
 

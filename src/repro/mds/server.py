@@ -120,6 +120,15 @@ class MDS(Daemon, RadosClient):
         self.perf.gauge_fn(
             "cpu.backlog",
             lambda: max(0.0, self._cpu_free_at - self.sim.now))
+        # Health-facing gauges.  All pure reads: ``peek`` leaves the
+        # decay counters' float state untouched, so how often the mgr
+        # samples this MDS can never alter its balancing decisions.
+        self.perf.gauge_fn(
+            "mds.load",
+            lambda: self.tracker.requests.peek(self.sim.now))
+        self.perf.gauge_fn("ns.inodes", lambda: self.ns.inode_count())
+        self.perf.gauge_fn("caps.revoking",
+                           lambda: self.locker.revoking_count())
 
         rh = self.register_handler
         rh("mds_req", self._h_request)

@@ -21,6 +21,21 @@ ERROR = "ERR"
 _LEVELS = {DEBUG: 0, INFO: 1, WARN: 2, ERROR: 3}
 
 
+def severity_level(severity: str) -> int:
+    """Numeric rank of a severity (higher is worse); raises on unknown."""
+    try:
+        return _LEVELS[severity]
+    except KeyError:
+        raise ValueError(f"unknown severity {severity!r}")
+
+
+def max_severity(*severities: str) -> str:
+    """The worst of the given severities (at least one required)."""
+    if not severities:
+        raise ValueError("max_severity needs at least one severity")
+    return max(severities, key=severity_level)
+
+
 @dataclass(frozen=True)
 class ClusterLogEntry:
     """One line in the monitor cluster log."""

@@ -92,6 +92,21 @@ class Monitor(Daemon):
         #: subscriber daemon name -> set of map kinds.
         self.subscribers: Dict[str, Set[str]] = {}
 
+        # Health-facing gauges (pure reads: the mgr scrapes these on a
+        # fixed period and sampling must never change monitor state).
+        # ``paxos.pending_txns`` counts consensus work still owed to
+        # clients: queued transactions plus proposed-but-unapplied
+        # batches — the quantity whose failure to drain while commits
+        # stand still is the PAXOS_STALL signal.
+        self.perf.gauge_fn(
+            "paxos.pending_txns",
+            lambda: len(self._pending_txns) + sum(
+                len(w) for w in self._applied_waiters.values()))
+        self.perf.gauge_fn("mon.is_leader",
+                           lambda: 1 if self.is_leader else 0)
+        self.perf.gauge_fn("log.entries",
+                           lambda: len(self.store.cluster_log))
+
         self._register_handlers()
         self._start_loops()
 

@@ -111,6 +111,13 @@ class Daemon:
                 f"{self.name}: no admin command {name!r}")
         return fn(args)
 
+    def has_admin_command(self, name: str) -> bool:
+        return name in self._admin_commands
+
+    def admin_commands(self) -> List[str]:
+        """The names this daemon's admin socket answers (sorted)."""
+        return sorted(self._admin_commands)
+
     # ------------------------------------------------------------------
     # Outbound
     # ------------------------------------------------------------------

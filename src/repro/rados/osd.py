@@ -81,6 +81,8 @@ class OSD(Daemon, MonitorClient):
         self.perf.gauge_fn(
             "object.count",
             lambda: sum(len(objs) for objs in self.pgs.values()))
+        self.perf.gauge_fn("peers.reported_down",
+                           lambda: len(self._reported_down))
 
         rh = self.register_handler
         #: (pool, oid) -> set of watcher client names (volatile; clients

@@ -104,6 +104,11 @@ class Network:
         self._endpoints: Dict[str, Endpoint] = {}
         self._partitions: Set[frozenset] = set()
         self._rng = sim.rng("network")
+        #: Per-endpoint latency overrides (see set_latency_override);
+        #: they draw from a dedicated RNG stream so instrumentation
+        #: endpoints (the mgr) never perturb the main latency sequence.
+        self._latency_overrides: Dict[str, LatencyModel] = {}
+        self._override_rng = sim.rng("network:overrides")
         #: Optional hook deciding per-message drops: fn(src, dst) -> bool.
         self.drop_hook: Optional[Callable[[str, str], bool]] = None
         # Counters for observability and the propagation benchmarks.
@@ -121,6 +126,23 @@ class Network:
 
     def knows(self, name: str) -> bool:
         return name in self._endpoints
+
+    def set_latency_override(self, name: str,
+                             model: Optional[LatencyModel]) -> None:
+        """Route all traffic to/from ``name`` through ``model``.
+
+        The override samples from a dedicated RNG stream, so traffic
+        of an overridden endpoint never advances the shared ``network``
+        stream.  This is how observability daemons guarantee that a
+        seeded run with them enabled replays the exact latency sequence
+        of a run without them (the kernel's determinism contract:
+        adding instrumentation cannot change an experiment).  Pass
+        ``None`` to remove an override.
+        """
+        if model is None:
+            self._latency_overrides.pop(name, None)
+        else:
+            self._latency_overrides[name] = model
 
     def endpoints(self) -> Tuple[str, ...]:
         return tuple(sorted(self._endpoints))
@@ -157,8 +179,12 @@ class Network:
         if self.drop_hook is not None and self.drop_hook(src, dst):
             self.messages_dropped += 1
             return
+        override = self._latency_overrides.get(
+            src, self._latency_overrides.get(dst))
         if src == dst:
             delay = 1e-6  # loopback: negligible but nonzero for causality
+        elif override is not None:
+            delay = override.sample(src, dst, self._override_rng)
         else:
             delay = self.latency.sample(src, dst, self._rng)
         self.sim.schedule(delay, self._deliver, dst, envelope)

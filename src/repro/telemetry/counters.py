@@ -60,9 +60,21 @@ class LatencyTracker:
             self.samples.append(duration)
 
     def quantile(self, q: float) -> float:
-        """Exact quantile; only available on retaining trackers."""
+        """Exact quantile; only available on retaining trackers.
+
+        Defined over the full closed range of inputs: an empty tracker
+        answers 0.0 (the same "nothing recorded" value ``to_dict``
+        reports for min/max), a single sample answers that sample for
+        every ``q``, and the edges are exact — ``quantile(0.0)`` is the
+        minimum, ``quantile(1.0)`` the maximum.  ``q`` outside [0, 1]
+        raises ``ValueError``.
+        """
         if not self.retain:
             raise ValueError("quantile() needs a retain=True tracker")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return 0.0
         return percentile(self.samples, q * 100.0)
 
     def to_dict(self) -> Dict[str, Any]:

@@ -105,6 +105,21 @@ class DecayCounter:
         self._decay_to(now)
         return self._value
 
+    def peek(self, now: float) -> float:
+        """Read the decayed value WITHOUT updating internal state.
+
+        ``get`` folds the elapsed decay into ``_value``, which is
+        correct but not float-exact across different call patterns
+        (``exp(a)·exp(b) != exp(a+b)`` in floats).  Observability code
+        (mgr gauges) must use ``peek`` so that sampling a counter more
+        or less often never changes the values the owning daemon later
+        computes — determinism of seeded runs depends on it.
+        """
+        dt = now - self._last
+        if dt <= 0:
+            return self._value
+        return self._value * math.exp(-self._lambda * dt)
+
     def scale(self, factor: float) -> None:
         """Scale the counter (used when splitting load across exports)."""
         self._value *= factor

@@ -2,9 +2,11 @@
 
 import math
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mds.metrics import DecayCounter
+from repro.telemetry.counters import LatencyTracker
 from repro.util.stats import Cdf, OnlineStats, ThroughputSeries, percentile
 from repro.workloads import interleaving_runs
 
@@ -77,6 +79,51 @@ def test_decay_counter_never_negative_and_decays(halflife, hit_times):
     assert 0 <= value <= len(hit_times) + 1e-9
     assert c.get(end + 10 * halflife) < value + 1e-9
     assert c.get(end + 100 * halflife) < 1e-9 * len(hit_times) + 1e-12
+
+
+durations = st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                      allow_infinity=False)
+
+
+def test_latency_tracker_quantile_edge_cases():
+    empty = LatencyTracker(retain=True)
+    # Empty tracker: 0.0, matching to_dict's "nothing recorded" value.
+    assert empty.quantile(0.5) == 0.0
+    assert empty.quantile(0.0) == 0.0 and empty.quantile(1.0) == 0.0
+    # Out-of-range q raises, even on an empty tracker.
+    for bad in (-0.01, 1.01, 2.0, -1.0):
+        with pytest.raises(ValueError):
+            empty.quantile(bad)
+    # Summary-only trackers cannot answer quantiles at all.
+    summary = LatencyTracker(retain=False)
+    summary.observe(1.0)
+    with pytest.raises(ValueError):
+        summary.quantile(0.5)
+
+
+@given(durations)
+@settings(max_examples=200, deadline=None)
+def test_latency_tracker_single_sample_is_every_quantile(sample):
+    t = LatencyTracker(retain=True)
+    t.observe(sample)
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert t.quantile(q) == sample
+
+
+@given(st.lists(durations, min_size=1, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_latency_tracker_quantiles_bounded_and_monotone(samples):
+    t = LatencyTracker(retain=True)
+    for s in samples:
+        t.observe(s)
+    # p0/p100 are the exact extremes.
+    assert t.quantile(0.0) == min(samples)
+    assert t.quantile(1.0) == max(samples)
+    # Monotone in q, always inside [min, max].
+    qs = [i / 10 for i in range(11)]
+    values = [t.quantile(q) for q in qs]
+    assert values == sorted(values)
+    assert all(min(samples) <= v <= max(samples) for v in values)
 
 
 @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)),
