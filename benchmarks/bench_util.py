@@ -52,7 +52,9 @@ def emit_json(name: str, payload: Dict[str, Any],
 def _cluster_health(cluster: Any) -> Dict[str, Any]:
     try:
         report = cluster.health()
-    except Exception as exc:  # a dead cluster is itself a result
+    # mal: disable=MAL004 -- a dead cluster is itself a benchmark
+    # result; the report records the failure instead of aborting
+    except Exception as exc:
         return {"status": "HEALTH_ERR",
                 "error": f"{type(exc).__name__}: {exc}"}
     return report

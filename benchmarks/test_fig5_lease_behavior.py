@@ -33,7 +33,6 @@ def run_experiment():
         cluster = MalacologyCluster.build(osds=3, mdss=1, seed=61)
         workload = LeaseContentionWorkload(cluster, clients=2)
         workload.setup(mode, **kwargs)
-        start = cluster.sim.now
         workload.start()
         cluster.run(DURATION)
         workload.stop()

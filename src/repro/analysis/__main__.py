@@ -1,0 +1,48 @@
+"""Command line front end: ``python -m repro.analysis lint [paths]``.
+
+Exit status 0 means no findings; 1 means findings (or usage error 2).
+``--json`` emits a machine-readable findings array for CI annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.linter import Linter, render_human, render_json
+from repro.analysis.rules import default_rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Malacology correctness tooling")
+    sub = parser.add_subparsers(dest="command")
+    lint = sub.add_parser(
+        "lint", help="run the MAL determinism/protocol lint rules")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
+    args = parser.parse_args(argv)
+    if args.command != "lint":
+        parser.print_help()
+        return 2
+    linter = Linter(default_rules())
+    findings = linter.lint_paths(args.paths or ["src"])
+    if args.json:
+        print(render_json(findings))
+    elif findings:
+        print(render_human(findings))
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our error.
+        sys.exit(1)

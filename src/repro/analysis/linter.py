@@ -1,0 +1,269 @@
+"""Static linter framework: findings, suppressions, rule driver.
+
+The linter parses each file once, hands the AST to every registered
+rule, then reconciles the raw findings against inline suppressions::
+
+    risky_call()  # mal: disable=MAL001 -- replaying a recorded clock
+
+A suppression comment on its own line covers the next source line.
+Suppression hygiene is itself linted (MAL008): malformed comments,
+unknown codes, and suppressions that no longer match a finding are all
+reported, so waivers cannot rot silently.  MAL008 cannot be
+suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Stable rule-code shape; codes outside this shape are malformed.
+CODE_RE = re.compile(r"MAL\d{3}$")
+
+#: Directive comments look like ``mal: disable=MAL001 -- reason``
+#: (after the hash sign that makes them a comment).
+_MAL_COMMENT = re.compile(r"#\s*mal:(?P<rest>.*)$")
+_DISABLE = re.compile(
+    r"^\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)\s*(?:--\s*(?P<reason>.*))?$")
+
+HYGIENE_CODE = "MAL008"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    name: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "name": self.name,
+                "message": self.message, "path": self.path,
+                "line": self.line, "col": self.col}
+
+
+class FileContext:
+    """Everything a rule may need about one parsed source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        parts = path.parts
+        #: Inside the shipped package (vs tests/benchmarks/examples)?
+        self.in_src = "src" in parts
+        #: The simulation kernel is the one place allowed to touch the
+        #: host ``random`` module: it derives the seeded streams.
+        self.in_kernel = path.name == "kernel.py" and "sim" in parts
+        #: The message layer itself constructs Envelopes and delivers
+        #: them; rules about bypassing it do not apply to it.
+        self.in_msg_layer = ("msg" in parts) or ("sim" in parts)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(code=rule.code, name=rule.name, message=message,
+                       path=str(self.path),
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`.  ``scope`` limits where the rule runs: ``"all"``
+    (default) or ``"src"`` for rules that only make sense inside the
+    shipped package (tests legitimately reach into daemon internals).
+    """
+
+    code = "MAL000"
+    name = "abstract"
+    description = ""
+    scope = "all"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def applies(self, ctx: FileContext) -> bool:
+        return self.scope == "all" or ctx.in_src
+
+
+@dataclass
+class _Suppression:
+    codes: Tuple[str, ...]
+    comment_line: int      # where the comment physically sits
+    target_line: int       # the line whose findings it waives
+    used: Set[str]
+
+
+def _comments(source: str) -> List[Tuple[int, str, bool]]:
+    """All comment tokens: (line, text, standalone?).
+
+    Tokenizing (rather than regex over raw lines) keeps mal-comment
+    examples inside string literals from being parsed as directives.
+    """
+    out: List[Tuple[int, str, bool]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                standalone = tok.start[1] == 0 or \
+                    tok.line[:tok.start[1]].strip() == ""
+                out.append((tok.start[0], tok.string, standalone))
+    except (tokenize.TokenError, IndentationError):
+        pass  # the ast parse already reported the file as broken
+    return out
+
+
+class _FileSuppressions:
+    """Parsed ``# mal:`` comments for one file, plus hygiene findings."""
+
+    def __init__(self, path: Path, lines: Sequence[str]):
+        self.hygiene: List[Finding] = []
+        self.by_line: Dict[int, List[_Suppression]] = {}
+        for idx, text, standalone in _comments("\n".join(lines)):
+            m = _MAL_COMMENT.search(text)
+            if not m:
+                continue
+            d = _DISABLE.match(m.group("rest"))
+            if not d:
+                self._bad(path, idx, "malformed mal comment "
+                          "(expected '# mal: disable=MALnnn -- reason')")
+                continue
+            codes = tuple(c.strip() for c in d.group("codes").split(",")
+                          if c.strip())
+            bad = [c for c in codes if not CODE_RE.match(c)]
+            if bad or not codes:
+                self._bad(path, idx,
+                          f"unknown lint code(s) {bad or ['<none>']} "
+                          "in suppression")
+                continue
+            if HYGIENE_CODE in codes:
+                self._bad(path, idx,
+                          f"{HYGIENE_CODE} (suppression hygiene) "
+                          "cannot be suppressed")
+                codes = tuple(c for c in codes if c != HYGIENE_CODE)
+                if not codes:
+                    continue
+            # A trailing comment waives its own line; a standalone
+            # comment waives the next code line (skipping the rest of
+            # its own comment block).
+            target = idx
+            if standalone:
+                target = idx + 1
+                while target <= len(lines) and (
+                        not lines[target - 1].strip()
+                        or lines[target - 1].lstrip().startswith("#")):
+                    target += 1
+            sup = _Suppression(codes=codes, comment_line=idx,
+                               target_line=target, used=set())
+            self.by_line.setdefault(target, []).append(sup)
+
+    def _bad(self, path: Path, line: int, message: str) -> None:
+        self.hygiene.append(Finding(
+            code=HYGIENE_CODE, name="suppression-hygiene",
+            message=message, path=str(path), line=line))
+
+    def filter(self, path: Path,
+               findings: Iterable[Finding]) -> List[Finding]:
+        kept: List[Finding] = []
+        for f in findings:
+            sups = self.by_line.get(f.line, [])
+            waived = False
+            for sup in sups:
+                if f.code in sup.codes:
+                    sup.used.add(f.code)
+                    waived = True
+            if not waived:
+                kept.append(f)
+        for sups in self.by_line.values():
+            for sup in sups:
+                for code in sup.codes:
+                    if code not in sup.used:
+                        self._bad(path, sup.comment_line,
+                                  f"unused suppression of {code} "
+                                  "(no such finding on the target line)")
+        return kept
+
+
+class Linter:
+    """Drive a rule set over files and directories."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+        codes = [r.code for r in self.rules]
+        assert len(set(codes)) == len(codes), "duplicate rule codes"
+
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str,
+                    path: str = "<string>") -> List[Finding]:
+        """Lint one in-memory source blob (test fixtures use this)."""
+        return self._lint_one(Path(path), source)
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for fp in self._expand(paths):
+            try:
+                source = fp.read_text()
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(Finding(
+                    code=HYGIENE_CODE, name="unreadable",
+                    message=f"cannot read file: {exc}",
+                    path=str(fp), line=1))
+                continue
+            findings.extend(self._lint_one(fp, source))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _expand(self, paths: Sequence[str]) -> List[Path]:
+        files: List[Path] = []
+        for p in paths:
+            path = Path(p)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    def _lint_one(self, path: Path, source: str) -> List[Finding]:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding(code=HYGIENE_CODE, name="syntax-error",
+                            message=f"cannot parse: {exc.msg}",
+                            path=str(path), line=exc.lineno or 1)]
+        ctx = FileContext(path, source, tree)
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if rule.applies(ctx):
+                raw.extend(rule.check(ctx))
+        sups = _FileSuppressions(path, ctx.lines)
+        kept = sups.filter(path, raw)
+        kept.extend(sups.hygiene)
+        return kept
+
+
+def render_human(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=1,
+                      sort_keys=True)

@@ -76,8 +76,18 @@ class MalacologyCluster:
               pools: Optional[Dict[str, Dict[str, Any]]] = None,
               latency: Optional[LatencyModel] = None,
               mon_backing: str = "ram", mgr: bool = False,
-              mgr_interval: float = 2.0) -> "MalacologyCluster":
+              mgr_interval: float = 2.0,
+              sanitize: Optional[bool] = None) -> "MalacologyCluster":
         sim = Simulator(seed=seed)
+        # sanitize=True opts this cluster into the runtime protocol
+        # sanitizers; False forces them off even when the
+        # MALACOLOGY_SANITIZE env var installed them; None keeps
+        # whatever the environment decided.
+        if sanitize:
+            from repro.analysis.sanitizers import install_sanitizers
+            install_sanitizers(sim)
+        elif sanitize is False:
+            sim.sanitizers = None
         net = Network(sim, latency=latency or lan_latency())
         mon_names = [f"mon{i}" for i in range(mons)]
         monitors = [
@@ -239,6 +249,18 @@ class MalacologyCluster:
                 "cluster status requires a mgr; build with mgr=True "
                 "or call enable_mgr()")
         return self.mgr.admin_command("status")
+
+    def sanitizer_report(self) -> List[Dict[str, Any]]:
+        """Violations the protocol sanitizers recorded (if enabled).
+
+        Runs the end-of-run liveness checks first; returns ``[]`` when
+        sanitizers are off or nothing was violated.
+        """
+        registry = getattr(self.sim, "sanitizers", None)
+        if registry is None:
+            return []
+        registry.finish()
+        return registry.to_dict()
 
     def mds_of_rank(self, rank: int) -> MDS:
         for mds in self.mdss:

@@ -9,6 +9,9 @@ on the client side with their identity intact.
 
 from __future__ import annotations
 
+import contextlib
+from typing import Iterator
+
 
 class MalacologyError(Exception):
     """Base class for all errors raised by the storage stack."""
@@ -178,6 +181,32 @@ def _rebuild_wrong_mds(code: str, message: str) -> "WrongMDS":
     except (IndexError, ValueError):
         rank = 0
     return WrongMDS(rank)
+
+
+@contextlib.contextmanager
+def sandbox_guard(what: str) -> Iterator[None]:
+    """Containment boundary for user-supplied sandboxed code.
+
+    Mantle policies and objclass methods are arbitrary scripts: *any*
+    failure inside them (SyntaxError, ZeroDivisionError, a typo...)
+    must surface as a typed :class:`PolicyError` instead of crashing
+    the daemon — that is the sandbox contract (paper section 5.1.3).
+    This guard is the one audited place allowed to catch ``Exception``;
+    ad-hoc broad handlers elsewhere are rejected by lint rule MAL004.
+
+    Typed storage-stack errors pass through untouched so sandboxed
+    code can still raise e.g. ``NotFound`` deliberately.
+    """
+    try:
+        yield
+    except MalacologyError:
+        raise
+    # mal: disable=MAL004 -- the sandbox boundary: arbitrary
+    # user-script failures become typed PolicyError here, and
+    # MalacologyError is re-raised unchanged above
+    except Exception as exc:
+        raise PolicyError(
+            f"{what}: {type(exc).__name__}: {exc}") from exc
 
 
 def error_from_code(code: str, message: str) -> MalacologyError:

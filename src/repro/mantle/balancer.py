@@ -155,7 +155,7 @@ class MantleBalancer:
         inside its balancing logic; the read races a timer.
         """
         result = Future(name=f"policyread:{oid}")
-        proc = self.mds.spawn(
+        self.mds.spawn(
             self._read_into(oid, result),
             name=f"{self.mds.name}:policyread")
         self.mds.sim.timeout_future(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import PolicyError
+from repro.errors import PolicyError, sandbox_guard
 from repro.objclass.loader import compile_policy_source
 
 
@@ -76,7 +76,7 @@ class MantlePolicy:
         """
         env = self._base_env(mds, whoami, state)
         namespace = compile_policy_source(self.version, self.source, env)
-        try:
+        with sandbox_guard(f"policy {self.version!r} failed"):
             go = bool(namespace["when"]())
             targets = [0.0] * len(mds)
             if go and callable(namespace.get("where")):
@@ -91,8 +91,3 @@ class MantlePolicy:
                         f"policy {self.version!r} returned bad routing "
                         f"mode {routing!r}")
             return go, targets, routing
-        except PolicyError:
-            raise
-        except Exception as exc:
-            raise PolicyError(
-                f"policy {self.version!r} failed: {exc}") from exc

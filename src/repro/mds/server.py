@@ -335,6 +335,9 @@ class MDS(Daemon, RadosClient):
         self.tracker.record_request(self.sim.now, path, self.COST_MUTATE)
         inode = self.ns.remove(path)
         self.locker.drop_ino(inode.ino)
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.caps.on_drop(inode.ino, daemon=self)
         self.tracker.forget_inode(path)
         yield from self.rados_op(
             METADATA_POOL, dir_object_id(parent_of(path)),
@@ -439,10 +442,16 @@ class MDS(Daemon, RadosClient):
             return
         # Queue like any other client so the revoke machinery fires.
         inode = self.ns.get(path)
-        if self.locker.try_grant(ino, "__server__", self.sim.now,
-                                 self._policy_for(inode)) is not None:
+        san = getattr(self.sim, "sanitizers", None)
+        server_cap = self.locker.try_grant(ino, "__server__",
+                                           self.sim.now,
+                                           self._policy_for(inode))
+        if server_cap is not None:
             # The holder vanished between the check and the queue; we
             # hold the grant now and release it below.
+            if san is not None:
+                san.caps.on_grant(self.name, ino, "__server__",
+                                  server_cap.seq, daemon=self)
             self._grant_waiters[ino].pop("__server__", None)
         else:
             self._maybe_revoke(ino)
@@ -452,6 +461,9 @@ class MDS(Daemon, RadosClient):
         cap = self.locker.holder_of(ino)
         if cap is not None and cap.client == "__server__":
             self.locker.release(ino, "__server__", cap.seq)
+            if san is not None:
+                san.caps.on_release(self.name, ino, "__server__",
+                                    daemon=self)
             self._grant_next(ino)
 
     # ------------------------------------------------------------------
@@ -469,6 +481,10 @@ class MDS(Daemon, RadosClient):
         cap = self.locker.try_grant(inode.ino, src, self.sim.now, policy)
         if cap is not None:
             self.perf.incr("cap.grant")
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                san.caps.on_grant(self.name, inode.ino, src, cap.seq,
+                                  daemon=self)
             return self._grant_payload(inode, cap)
         fut = Future(name=f"grant:{inode.ino}:{src}")
         self._grant_waiters.setdefault(inode.ino, {})[src] = fut
@@ -500,6 +516,9 @@ class MDS(Daemon, RadosClient):
         inode = self.ns.get(path)
         if self.locker.release(ino, src, args["seq"]):
             self.perf.incr("cap.release")
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                san.caps.on_release(self.name, ino, src, daemon=self)
             inode.merge_flush(args.get("dirty", {}))
             self._grant_next(ino)
         return None
@@ -510,6 +529,9 @@ class MDS(Daemon, RadosClient):
             return
         self.locker.mark_revoking(ino)
         self.perf.incr("cap.revoke")
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.caps.on_revoke_start(self.name, ino, daemon=self)
         self.cast(cap.client, "cap_revoke", {"ino": ino, "seq": cap.seq})
         self.sim.schedule(self.CAP_REVOKE_TIMEOUT,
                           self._revoke_deadline, ino, cap.client, cap.seq)
@@ -528,6 +550,9 @@ class MDS(Daemon, RadosClient):
         if cap is None or cap.client != client or cap.seq != seq:
             return  # released in time
         self.locker.release(ino, client, seq)
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.caps.on_release(self.name, ino, client, daemon=self)
         self._grant_next(ino)
 
     def _grant_next(self, ino: int) -> None:
@@ -547,6 +572,10 @@ class MDS(Daemon, RadosClient):
         if cap is None:
             return
         self.perf.incr("cap.grant")
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.caps.on_grant(self.name, ino, waiter, cap.seq,
+                              daemon=self)
         if fut is not None:
             fut.resolve_if_pending(self._grant_payload(inode, cap))
         if self.locker.needs_revoke(ino):
@@ -602,6 +631,10 @@ class MDS(Daemon, RadosClient):
         if any(under(path, p) or under(p, path) for p in self._frozen):
             return
         self._frozen.add(path)
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.migration.on_export_begin(path, self.rank, target_rank,
+                                          daemon=self)
         try:
             yield from self._recall_subtree_caps(path)
             entries = {p: self.ns.get(p).to_dict()
@@ -630,6 +663,8 @@ class MDS(Daemon, RadosClient):
                        f"rank {target_rank}")
         finally:
             self._frozen.discard(path)
+            if san is not None:
+                san.migration.on_export_end(path, daemon=self)
 
     def _recall_subtree_caps(self, path: str) -> Generator:
         for p in self.ns.paths_under(path):
@@ -643,8 +678,15 @@ class MDS(Daemon, RadosClient):
             for fut in self._grant_waiters.pop(inode.ino, {}).values():
                 fut.fail_if_pending(TryAgain(f"{path} migrating"))
             self.locker.drop_ino(inode.ino)
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                san.caps.on_drop(inode.ino, daemon=self)
 
     def _h_import(self, src: str, payload: Dict[str, Any]) -> bool:
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.migration.on_import(payload["path"], self.rank,
+                                    daemon=self)
         self.perf.incr("migrate.import")
         self.ns.install_subtree(payload["entries"])
         now = self.sim.now
@@ -668,6 +710,10 @@ class MDS(Daemon, RadosClient):
         self.locker = Locker()
         self.tracker = LoadTracker()
         self._frozen = set()
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            # Every lease this MDS issued died with its Locker.
+            san.on_daemon_reset(self.name)
         for waiters in self._grant_waiters.values():
             for fut in waiters.values():
                 fut.fail_if_pending(CapRevoked("mds crashed"))

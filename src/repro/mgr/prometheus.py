@@ -193,4 +193,5 @@ def _parse_value(token: str, lineno: int) -> float:
     try:
         return float(token)
     except ValueError:
-        raise ValueError(f"line {lineno}: bad sample value {token!r}")
+        raise ValueError(
+            f"line {lineno}: bad sample value {token!r}") from None

@@ -26,7 +26,7 @@ def severity_level(severity: str) -> int:
     try:
         return _LEVELS[severity]
     except KeyError:
-        raise ValueError(f"unknown severity {severity!r}")
+        raise ValueError(f"unknown severity {severity!r}") from None
 
 
 def max_severity(*severities: str) -> str:

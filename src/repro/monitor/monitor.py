@@ -329,6 +329,10 @@ class Monitor(Daemon):
                 yield Timeout(self.store_sync)
             self.perf.incr("paxos.commit")
             self.perf.time("paxos.commit", self.sim.now - proposed_at)
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                san.paxos.on_learn(self.name, instance, value,
+                                   daemon=self)
             self.chosen.learn(instance, value)
             for peer in self.mon_names:
                 if peer != self.name:
@@ -356,6 +360,10 @@ class Monitor(Daemon):
         return ok
 
     def _h_commit(self, src: str, payload: Dict[str, Any]) -> None:
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            san.paxos.on_learn(self.name, payload["instance"],
+                               payload["value"], daemon=self)
         self.chosen.learn(payload["instance"], payload["value"])
         self._apply_ready()
 
@@ -403,6 +411,12 @@ class Monitor(Daemon):
                     fut.resolve_if_pending(result)
             self.acceptor.forget_below(instance + 1)
         if changed_kinds:
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                for kind in sorted(changed_kinds):
+                    san.paxos.on_epoch(self.name, kind,
+                                       self.store.get_map(kind).epoch,
+                                       daemon=self)
             self._notify_subscribers(changed_kinds)
 
     def _epochs(self) -> Dict[str, int]:
@@ -416,7 +430,9 @@ class Monitor(Daemon):
 
     def _notify_subscribers(self, kinds: Set[str]) -> None:
         for sub, wanted in self.subscribers.items():
-            for kind in kinds & wanted:
+            # sorted(): set-intersection order depends on the string
+            # hash seed; casting in it would break seeded replay.
+            for kind in sorted(kinds & wanted):
                 m = self.store.get_map(kind)
                 self.cast(sub, "map_notify",
                           {"kind": kind, "epoch": m.epoch,

@@ -155,6 +155,15 @@ class Daemon:
         ctx = self._trace_ctx
         return ctx.wire() if ctx is not None else None
 
+    @property
+    def trace_context(self) -> Optional[SpanContext]:
+        """The span context of the handler currently executing here.
+
+        Public read-only view for passive observers (protocol
+        sanitizers attach the causal trace to violation reports).
+        """
+        return self._trace_ctx
+
     def broadcast(self, dsts: List[str], method: str,
                   payload: Any = None) -> None:
         for dst in dsts:
@@ -300,6 +309,8 @@ class Daemon:
             except GeneratorExit:
                 body.close()
                 raise
+            # mal: disable=MAL004 -- trampoline: re-thrown into the
+            # wrapped generator on the next step, never swallowed
             except BaseException as exc:
                 to_send, to_throw = None, exc
 
@@ -320,6 +331,8 @@ class Daemon:
             try:
                 result = yield from self._run_traced(body, ctx)
                 return result
+            # mal: disable=MAL004 -- records the error on the span and
+            # immediately re-raises
             except BaseException as exc:
                 error = exc
                 raise

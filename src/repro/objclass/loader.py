@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro import errors
-from repro.errors import PolicyError
+from repro.errors import PolicyError, sandbox_guard
 
 #: Builtins available to dynamic class / policy code.  Deliberately has
 #: no ``__import__``, ``open``, ``eval``, ``exec``, ``getattr``, or
@@ -73,10 +73,8 @@ def compile_class_source(name: str,
         code = compile(source, filename=f"<objclass:{name}>", mode="exec")
     except SyntaxError as exc:
         raise PolicyError(f"class {name!r} failed to compile: {exc}") from exc
-    try:
+    with sandbox_guard(f"class {name!r} failed during load"):
         exec(code, namespace)  # noqa: S102 - sandboxed namespace
-    except Exception as exc:
-        raise PolicyError(f"class {name!r} failed during load: {exc}") from exc
     methods = namespace.get("METHODS")
     if not isinstance(methods, dict) or not methods:
         raise PolicyError(
@@ -105,8 +103,6 @@ def compile_policy_source(name: str, source: str,
     except SyntaxError as exc:
         raise PolicyError(
             f"policy {name!r} failed to compile: {exc}") from exc
-    try:
+    with sandbox_guard(f"policy {name!r} failed to run"):
         exec(code, namespace)  # noqa: S102 - sandboxed namespace
-    except Exception as exc:
-        raise PolicyError(f"policy {name!r} failed to run: {exc}") from exc
     return namespace

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import MalacologyError, NotFound, PolicyError
+from repro.errors import NotFound, PolicyError, sandbox_guard
 from repro.objclass.context import MethodContext
 from repro.objclass.loader import compile_class_source
 
@@ -102,12 +102,8 @@ class ClassRegistry:
         fn = entry["methods"].get(method)
         if fn is None:
             raise NotFound(f"class {name!r} has no method {method!r}")
-        try:
+        # A bug inside dynamic code must not crash the OSD; the guard
+        # passes intended MalacologyError signalling through and turns
+        # everything else into a typed PolicyError.
+        with sandbox_guard(f"class {name}.{method} raised"):
             return fn(ctx, args)
-        except MalacologyError:
-            raise  # intended outcome signalling; pass through
-        except Exception as exc:
-            # A bug inside dynamic code must not crash the OSD.
-            raise PolicyError(
-                f"class {name}.{method} raised {type(exc).__name__}: "
-                f"{exc}") from exc

@@ -261,6 +261,11 @@ class OSD(Daemon, MonitorClient):
         results, new_obj, removed = apply_ops(
             obj, oid, ops, self.registry,
             epoch=payload.get("epoch"), now=self.sim.now)
+        san = getattr(self.sim, "sanitizers", None)
+        if san is not None:
+            # The transaction was *accepted*; the epoch-fencing
+            # sanitizer checks no stale-epoch zlog op slipped through.
+            san.zlog.observe_ops(pool, oid, ops, daemon=self)
         mutated = (removed
                    or (new_obj is not None
                        and (obj is None or new_obj.version != obj.version)))

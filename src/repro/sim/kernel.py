@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import os
 import random
 from typing import Any, Callable, Dict, Generator, Iterator, Optional
 
@@ -80,6 +81,9 @@ class Process:
         except StopIteration as stop:
             self.completion.resolve(getattr(stop, "value", None))
             return
+        # mal: disable=MAL004 -- the process-death trap: the error is
+        # delivered to the completion future's waiter or re-raised
+        # from Simulator.run, never swallowed
         except Exception as exc:
             # A process dying with an unhandled exception settles its
             # completion future; if nothing is waiting, the simulator
@@ -143,6 +147,13 @@ class Simulator:
         #: daemon on this simulator shares one causally-consistent
         #: trace store timed on this clock.
         self.trace_collector: Optional[Any] = None
+        #: Protocol-sanitizer attachment point (repro.analysis).  The
+        #: hooks daemons call are passive observers, so an installed
+        #: registry never perturbs the event schedule.
+        self.sanitizers: Optional[Any] = None
+        if os.environ.get("MALACOLOGY_SANITIZE"):
+            from repro.analysis.sanitizers import install_sanitizers
+            install_sanitizers(self)
 
     # ------------------------------------------------------------------
     # Clock and randomness

@@ -68,7 +68,7 @@ def build_rados_cluster(
     sim, net, mons = build_monitor_quorum(
         count=mon_count, seed=seed, proposal_interval=proposal_interval,
         latency=latency)
-    leader = settle_quorum(sim, mons)
+    settle_quorum(sim, mons)
     mon_names = [m.name for m in mons]
     osds = [OSD(sim, net, f"osd{i}", mon_names) for i in range(osd_count)]
     # Let OSDs boot and learn the map.

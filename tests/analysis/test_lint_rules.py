@@ -1,0 +1,269 @@
+"""Negative-test suite for the MAL lint rules.
+
+One must-flag and one must-pass fixture per rule, plus suppression
+semantics, the CLI surface, and — the acceptance criterion — a proof
+that the shipped tree is clean.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linter import Linter, render_json
+from repro.analysis.rules import default_rules
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def lint(source: str, path: str = "src/repro/fake/mod.py"):
+    findings = Linter(default_rules()).lint_source(source, path=path)
+    return [f.code for f in findings], findings
+
+
+# ----------------------------------------------------------------------
+# MAL001 wall-clock
+# ----------------------------------------------------------------------
+def test_mal001_flags_wall_clock():
+    codes, _ = lint("import time\n"
+                    "def handler(self):\n"
+                    "    started = time.time()\n")
+    assert codes == ["MAL001"]
+
+
+def test_mal001_flags_datetime_now():
+    codes, _ = lint("from datetime import datetime\n"
+                    "stamp = datetime.now()\n")
+    assert codes == ["MAL001"]
+
+
+def test_mal001_passes_sim_clock_and_kernel():
+    codes, _ = lint("def handler(self):\n"
+                    "    started = self.sim.now\n")
+    assert codes == []
+    # The kernel itself is the one sanctioned wall-clock-free zone
+    # where the rule stands down entirely.
+    codes, _ = lint("import time\nt = time.time()\n",
+                    path="src/repro/sim/kernel.py")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL002 host RNG
+# ----------------------------------------------------------------------
+def test_mal002_flags_host_random():
+    codes, _ = lint("import random\n"
+                    "def jitter(self):\n"
+                    "    return random.random()\n")
+    assert codes == ["MAL002"]
+
+
+def test_mal002_flags_numpy_random():
+    codes, _ = lint("import numpy as np\n"
+                    "x = np.random.rand(4)\n")
+    assert codes == ["MAL002"]
+
+
+def test_mal002_passes_seeded_streams():
+    codes, _ = lint("def jitter(self):\n"
+                    "    return self.sim.rng('ticker').random()\n")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL003 message-layer bypass
+# ----------------------------------------------------------------------
+def test_mal003_flags_direct_deliver():
+    codes, _ = lint("def push(self, peer, env):\n"
+                    "    peer.deliver(env)\n")
+    assert codes == ["MAL003"]
+
+
+def test_mal003_flags_foreign_private_access():
+    codes, _ = lint("def poke(self, other):\n"
+                    "    other._handlers['x'] = None\n")
+    assert codes == ["MAL003"]
+
+
+def test_mal003_passes_own_internals_and_tests():
+    codes, _ = lint("def setup(self):\n"
+                    "    self._handlers = {}\n")
+    assert codes == []
+    # Tests reach into daemons deliberately; the rule is src-scoped.
+    codes, _ = lint("def test_x(daemon, env):\n"
+                    "    daemon.deliver(env)\n",
+                    path="tests/unit/test_fake.py")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL004 broad except
+# ----------------------------------------------------------------------
+def test_mal004_flags_broad_and_bare_except():
+    codes, _ = lint("try:\n    x()\nexcept Exception:\n    pass\n")
+    assert codes == ["MAL004"]
+    codes, _ = lint("try:\n    x()\nexcept:\n    pass\n")
+    assert codes == ["MAL004"]
+    codes, _ = lint("try:\n    x()\n"
+                    "except (ValueError, Exception):\n    pass\n")
+    assert codes == ["MAL004"]
+
+
+def test_mal004_passes_typed_handlers():
+    codes, _ = lint("from repro.errors import NotFound\n"
+                    "try:\n    x()\nexcept NotFound:\n    pass\n")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL005 unordered iteration
+# ----------------------------------------------------------------------
+def test_mal005_flags_set_iteration_that_casts():
+    src = ("def notify(self, kinds, wanted):\n"
+           "    kinds = set(kinds)\n"
+           "    for k in kinds & wanted:\n"
+           "        self.cast(k, 'map_notify', {})\n")
+    codes, _ = lint(src)
+    assert codes == ["MAL005"]
+
+
+def test_mal005_flags_annotated_set_param():
+    src = ("from typing import Set\n"
+           "def notify(self, kinds: Set[str]):\n"
+           "    for k in kinds:\n"
+           "        self.cast(k, 'ping', {})\n")
+    codes, _ = lint(src)
+    assert codes == ["MAL005"]
+
+
+def test_mal005_passes_sorted_and_pure_iteration():
+    src = ("def notify(self, kinds: set):\n"
+           "    for k in sorted(kinds):\n"
+           "        self.cast(k, 'ping', {})\n")
+    codes, _ = lint(src)
+    assert codes == []
+    # Iterating a set without scheduling effects is harmless.
+    src = ("def total(self, nums: set):\n"
+           "    acc = 0\n"
+           "    for n in nums:\n"
+           "        acc += n\n"
+           "    return acc\n")
+    codes, _ = lint(src)
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL006 mutable defaults
+# ----------------------------------------------------------------------
+def test_mal006_flags_mutable_defaults():
+    codes, _ = lint("def boot(self, peers=[]):\n    pass\n")
+    assert codes == ["MAL006"]
+    codes, _ = lint("def boot(self, opts=dict()):\n    pass\n")
+    assert codes == ["MAL006"]
+
+
+def test_mal006_passes_none_default():
+    codes, _ = lint("def boot(self, peers=None):\n"
+                    "    peers = peers or []\n")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL007 Envelope trace propagation
+# ----------------------------------------------------------------------
+def test_mal007_flags_untraced_envelope():
+    src = ("from repro.msg.message import Envelope\n"
+           "def forge(self):\n"
+           "    return Envelope(kind='request', src='a', dst='b',\n"
+           "                    method='m', msg_id=1, payload=None)\n")
+    codes, _ = lint(src)
+    assert codes == ["MAL007"]
+
+
+def test_mal007_passes_traced_envelope_and_msg_layer():
+    src = ("from repro.msg.message import Envelope\n"
+           "def forge(self):\n"
+           "    return Envelope(kind='request', src='a', dst='b',\n"
+           "                    method='m', msg_id=1, payload=None,\n"
+           "                    trace=self._trace_wire())\n")
+    codes, _ = lint(src)
+    assert codes == []
+    untraced = ("def forge():\n"
+                "    return Envelope(kind='cast', src='a', dst='b',\n"
+                "                    method='m', msg_id=1, payload=None)\n")
+    codes, _ = lint(untraced, path="src/repro/msg/daemon.py")
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# MAL008 suppression hygiene
+# ----------------------------------------------------------------------
+def test_suppression_waives_trailing_and_standalone():
+    src = ("import time\n"
+           "t = time.time()  # mal: disable=MAL001 -- fixture clock\n")
+    codes, _ = lint(src)
+    assert codes == []
+    src = ("import time\n"
+           "# mal: disable=MAL001 -- fixture clock\n"
+           "t = time.time()\n")
+    codes, _ = lint(src)
+    assert codes == []
+
+
+def test_unused_suppression_is_flagged():
+    src = "x = 1  # mal: disable=MAL001 -- nothing here\n"
+    codes, findings = lint(src)
+    assert codes == ["MAL008"]
+    assert "unused suppression" in findings[0].message
+
+
+def test_unknown_code_and_malformed_comment_are_flagged():
+    codes, _ = lint("x = 1  # mal: disable=MAL999,BOGUS -- eh\n")
+    assert codes == ["MAL008"]
+    codes, _ = lint("x = 1  # mal: disable\n")
+    assert codes == ["MAL008"]
+
+
+def test_mal008_itself_cannot_be_suppressed():
+    src = "x = 1  # mal: disable=MAL008 -- meta\n"
+    codes, _ = lint(src)
+    assert "MAL008" in codes
+
+
+def test_directive_examples_in_strings_are_ignored():
+    src = 'DOC = "# mal: disable=MAL001 -- just an example"\n'
+    codes, _ = lint(src)
+    assert codes == []
+
+
+# ----------------------------------------------------------------------
+# CLI and acceptance
+# ----------------------------------------------------------------------
+def test_cli_json_output_and_exit_codes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint",
+         str(bad), "--json"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 1
+    findings = json.loads(proc.stdout)
+    assert findings[0]["code"] == "MAL001"
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", str(good)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_shipped_tree_is_clean():
+    """Acceptance: the linter exits 0 on the real src/tests/benchmarks."""
+    findings = Linter(default_rules()).lint_paths(
+        [str(REPO / "src"), str(REPO / "tests"), str(REPO / "benchmarks")])
+    assert findings == [], render_json(findings)

@@ -1,0 +1,60 @@
+"""Run the protocol sanitizers underneath selected integration suites.
+
+The failure-injection suites exercise exactly the protocol edges the
+sanitizers watch (epoch fencing under crashes, cap recovery across MDS
+failover, Paxos re-election), so they run with ``MALACOLOGY_SANITIZE=1``
+and every cluster they build is pinned to zero violations.  The
+sanitizers are passive observers, so the sanitized schedules stay
+byte-identical to the plain runs (asserted directly in
+``tests/analysis/test_sanitizers.py``).
+"""
+
+import pytest
+
+from repro.analysis import sanitizers
+
+#: Modules whose clusters run sanitized and must finish violation-free.
+SANITIZED_MODULES = {
+    "test_zlog_failures",
+    "test_multi_mds",
+    "test_rados_failures",
+}
+
+
+def _assert_clean(registries, where):
+    for registry in registries:
+        violations = registry.finish()
+        assert violations == [], (
+            f"protocol violations in {where}:\n"
+            + "\n\n".join(str(v) for v in violations))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _sanitized_module(request):
+    """Turn sanitizers on for the whole module (clusters may be built
+    in module-scoped fixtures) and drop its registries at teardown."""
+    module = request.node.name.rpartition("/")[2].removesuffix(".py")
+    if module not in SANITIZED_MODULES:
+        yield None
+        return
+    mp = pytest.MonkeyPatch()
+    mp.setenv("MALACOLOGY_SANITIZE", "1")
+    before = len(sanitizers.ACTIVE)
+    try:
+        yield before
+        new = sanitizers.ACTIVE[before:]
+        assert new, f"sanitized module {module} built no cluster?"
+        _assert_clean(new, module)
+    finally:
+        del sanitizers.ACTIVE[before:]
+        mp.undo()
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_test(request, _sanitized_module):
+    """Pin zero violations after each test, for precise attribution."""
+    yield
+    if _sanitized_module is None:
+        return
+    _assert_clean(sanitizers.ACTIVE[_sanitized_module:],
+                  request.node.nodeid)

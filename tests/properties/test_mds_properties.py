@@ -107,13 +107,10 @@ def test_namespace_matches_model(sequence):
         try:
             if op == "mkdir":
                 ns.add(path, Inode(ino, DIR))
-                ok = True
             elif op == "create":
                 ns.add(path, Inode(ino, FILE))
-                ok = True
             else:
                 ns.remove(path)
-                ok = False
         except MalacologyError:
             continue
         if op == "unlink":

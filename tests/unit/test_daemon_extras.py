@@ -107,7 +107,7 @@ def test_restart_is_idempotent_and_crash_is_too():
 
 def test_error_reply_for_unhandled_method_names_the_daemon():
     sim, net = make_net()
-    d = Daemon(sim, net, "server")
+    Daemon(sim, net, "server")
     client = Daemon(sim, net, "client")
     fut = client.call("server", "nope", timeout=1.0)
     sim.run()

@@ -146,7 +146,7 @@ def test_message_loss_rate_drops_messages():
     sim = Simulator(seed=2)
     net = Network(sim, latency=FixedLatency(0.001))
     inj = FailureInjector(sim, net)
-    server = EchoServer(sim, net)
+    EchoServer(sim, net)
     client = Daemon(sim, net, "client")
     inj.set_loss("client", "server", 1.0)
     fut = client.call("server", "echo", 1, timeout=0.5)
