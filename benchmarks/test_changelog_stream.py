@@ -1,0 +1,113 @@
+"""Changelog stream benchmark: append throughput and visibility.
+
+Not a paper figure — an ops-facing benchmark for the changelog
+subsystem this repo adds on top of the Malacology interfaces (the
+shard class is a ``cls_zlog`` sibling; see DESIGN.md).  Measured:
+
+* **append throughput** — records the writer lands in the shard
+  objects per second of simulated time while an MDS mutation storm
+  is running;
+* **end-to-end visibility** — per-record latency from the producer's
+  emit timestamp to the consumer handling it (watch/notify wakeups
+  mean this tracks the writer's flush cadence, not the 1 s polling
+  fallback);
+* **lag vs trim** — the peak consumer backlog while the storm runs,
+  and that trim reclaims every acknowledged record by the end.
+
+Asserted: every record is consumed exactly as emitted, visibility p90
+stays well under the polling fallback, and the stream drains to zero
+retained records — shape claims, not absolute numbers.
+"""
+
+from bench_util import emit, emit_json
+
+from repro.core import MalacologyCluster
+from repro.util.stats import Cdf
+
+FILES = 250
+SAMPLE_EVERY = 1.0
+
+
+def run_stream():
+    cluster = MalacologyCluster.build(osds=3, mdss=1, mons=3, seed=90,
+                                      changelog=True, mgr=True)
+    cluster.run(3.0)
+    writer = cluster.changelog_writer
+    audit = cluster.audit_pipeline
+    client = cluster.new_client("load")
+
+    def storm():
+        yield from client.fs_mkdir("/bench")
+        for i in range(FILES):
+            yield from client.fs_create(f"/bench/f{i}")
+
+    start = cluster.sim.now
+    proc = client.do(storm())
+    backlog = []  # (t, retained, lag) sampled while the storm runs
+    while not proc.done:
+        cluster.run(SAMPLE_EVERY)
+        status = writer.status()
+        backlog.append((cluster.sim.now, status["retained"],
+                        status["lag"].get("audit", 0)))
+    landed = cluster.sim.now
+    # Drain: let the consumer catch up and trim reclaim everything.
+    cluster.run(3 * writer.TRIM_INTERVAL)
+
+    appended = writer.perf.get("changelog.appended")
+    throughput = appended / (landed - start)
+    visibility = Cdf(audit.perf.samples("changelog.visibility"))
+    final = writer.status()
+    return {
+        "cluster": cluster,
+        "records": len(audit.received),
+        "appended": appended,
+        "elapsed": landed - start,
+        "throughput": throughput,
+        "visibility": visibility,
+        "peak_retained": max(r for _, r, _ in backlog),
+        "peak_lag": max(l for _, _, l in backlog),
+        "final_retained": final["retained"],
+        "final_lag": final["lag"].get("audit", 0),
+        "trimmed": writer.perf.get("changelog.trimmed"),
+    }
+
+
+def test_changelog_stream_benchmark():
+    out = run_stream()
+    vis = out["visibility"]
+    lines = [
+        f"records emitted/consumed   {out['records']}",
+        f"append throughput          {out['throughput']:.0f} rec/s "
+        f"({out['appended']:.0f} in {out['elapsed']:.2f}s)",
+        "visibility (emit -> consume)",
+        f"  p50                      {vis.quantile(0.50) * 1e3:.1f} ms",
+        f"  p90                      {vis.quantile(0.90) * 1e3:.1f} ms",
+        f"  max                      {vis.max * 1e3:.1f} ms",
+        f"peak retained / lag        {out['peak_retained']:.0f} / "
+        f"{out['peak_lag']:.0f}",
+        f"final retained / lag       {out['final_retained']:.0f} / "
+        f"{out['final_lag']:.0f} (trimmed {out['trimmed']:.0f})",
+    ]
+    emit("changelog_stream", lines)
+    emit_json("changelog_stream", {
+        "records": out["records"],
+        "append_throughput_rps": out["throughput"],
+        "visibility_s": {
+            "p50": vis.quantile(0.50),
+            "p90": vis.quantile(0.90),
+            "max": vis.max,
+        },
+        "peak_retained": out["peak_retained"],
+        "peak_lag": out["peak_lag"],
+        "final_retained": out["final_retained"],
+        "trimmed": out["trimmed"],
+    }, cluster=out["cluster"])
+
+    # Shape claims: nothing lost, nothing left behind.
+    assert out["records"] == FILES + 1  # mkdir + every create
+    assert out["appended"] == out["records"]
+    # Notify-driven tailing beats the 1 s polling fallback handily.
+    assert vis.quantile(0.90) < 1.0
+    # Trim reclaimed the acknowledged stream.
+    assert out["final_retained"] == 0 and out["final_lag"] == 0
+    assert out["trimmed"] == out["appended"]

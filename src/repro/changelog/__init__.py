@@ -1,0 +1,27 @@
+"""Distributed changelog & audit subsystem (ROADMAP item 4).
+
+Built Malacology-style from the paper's reusable interfaces: shard
+objects programmed by the bundled ``cls_changelog`` object class
+(Data I/O), consumers woken by watch/notify with polling fallback
+(Service Metadata-style pub/sub), durable cursors in shard omaps, and
+mgr health/metrics on top.  See DESIGN.md for the full contract.
+"""
+
+from repro.changelog.audit import AuditPipeline
+from repro.changelog.consumer import ChangelogConsumer
+from repro.changelog.cursor import DurableCursor
+from repro.changelog.records import KINDS, ChangelogProducer, tenant_of
+from repro.changelog.shards import CHANGELOG_POOL, ChangelogLayout
+from repro.changelog.writer import ChangelogWriter
+
+__all__ = [
+    "AuditPipeline",
+    "ChangelogConsumer",
+    "ChangelogLayout",
+    "ChangelogProducer",
+    "ChangelogWriter",
+    "CHANGELOG_POOL",
+    "DurableCursor",
+    "KINDS",
+    "tenant_of",
+]

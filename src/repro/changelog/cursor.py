@@ -1,0 +1,56 @@
+"""Durable named cursors: a consumer's acknowledged position per shard.
+
+The authoritative state lives in each shard object's omap (written via
+``cls_changelog.cursor_set``); this module is the thin client-side
+view a consumer keeps in memory while tailing.  Positions are "last
+sequence number acknowledged" — ``-1`` means registered but nothing
+consumed yet, which still pins ``trim`` (registration is what makes
+history wait for you).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.changelog.shards import ChangelogLayout
+
+
+class DurableCursor:
+    """Client-side mirror of one named cursor across all shards."""
+
+    def __init__(self, name: str, layout: ChangelogLayout):
+        self.name = name
+        self.layout = layout
+        #: shard index -> last acked seq (-1 = registered, none acked).
+        self.positions: Dict[int, int] = {}
+
+    def load(self, client: Any) -> Generator:
+        """Fetch (and register, if absent) the cursor on every shard.
+
+        Registering at -1 on first contact makes ``trim`` wait for this
+        consumer from the very first record.
+        """
+        for shard in range(self.layout.width):
+            obj = self.layout.object_of(shard)
+            out = yield from client.rados_exec(
+                self.layout.pool, obj, "changelog", "cursor_get",
+                {"name": self.name})
+            if out["seq"] < 0:
+                out = yield from client.rados_exec(
+                    self.layout.pool, obj, "changelog", "cursor_set",
+                    {"name": self.name, "seq": -1})
+            self.positions[shard] = out["seq"]
+
+    def get(self, shard: int) -> int:
+        return self.positions.get(shard, -1)
+
+    def ack(self, client: Any, shard: int, seq: int) -> Generator:
+        """Persist consumption through ``seq`` on one shard."""
+        out = yield from client.rados_exec(
+            self.layout.pool, self.layout.object_of(shard),
+            "changelog", "cursor_set",
+            {"name": self.name, "seq": seq})
+        self.positions[shard] = out["seq"]
+
+    def to_dict(self) -> Dict[str, int]:
+        return {str(s): q for s, q in sorted(self.positions.items())}

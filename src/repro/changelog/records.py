@@ -1,0 +1,80 @@
+"""Typed changelog records and the in-daemon producer shim.
+
+A record is a plain dict so it can cross the message layer and the
+object store unchanged::
+
+    {"kind": "rename", "actor": "client3", "path": "/a/x",
+     "tenant": "a", "time": 12.5, "producer": "mds0#1", "pseq": 7,
+     ...kind-specific details...}
+
+``producer`` identifies one *incarnation* of one emitting daemon and
+``pseq`` is its private monotone counter; together they let
+``cls_changelog.append`` deduplicate writer retries exactly (the shard
+class stamps the authoritative ``seq``).  The incarnation suffix bumps
+on daemon restart so a reborn producer's counter restarting from zero
+is never mistaken for duplicates of its past life.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: The record kinds the subsystem emits (Lustre changelog-style verbs).
+KINDS = ("mkdir", "create", "rename", "setattr", "unlink", "migrate",
+         "object_write")
+
+
+def tenant_of(path: Optional[str]) -> Optional[str]:
+    """Tenant = first path component ("/alice/x" -> "alice")."""
+    if not path:
+        return None
+    parts = [p for p in path.split("/") if p]
+    return parts[0] if parts else None
+
+
+class ChangelogProducer:
+    """Per-daemon emission shim: stamps records and casts them out.
+
+    Attached to an MDS or OSD by ``cluster.enable_changelog``; absent
+    (``daemon.changelog is None``) in a plain cluster, so the producing
+    daemons take the exact same code path either way apart from one
+    attribute test.  ``emit`` is fire-and-forget (``cast``): producers
+    never wait on the changelog, so enabling it cannot stall or reorder
+    the producing daemon's own schedule.
+    """
+
+    def __init__(self, daemon: Any, writer: str):
+        self.daemon = daemon
+        self.writer = writer
+        self.incarnation = 1
+        self.pseq = 0
+
+    @property
+    def producer_id(self) -> str:
+        return f"{self.daemon.name}#{self.incarnation}"
+
+    def emit(self, kind: str, actor: str, path: Optional[str] = None,
+             **details: Any) -> Optional[Dict[str, Any]]:
+        if kind not in KINDS:
+            raise ValueError(f"unknown changelog kind {kind!r}")
+        if not self.daemon.alive:
+            return None
+        self.pseq += 1
+        record: Dict[str, Any] = {
+            "kind": kind,
+            "actor": actor,
+            "path": path,
+            "tenant": tenant_of(path),
+            "time": self.daemon.sim.now,
+            "producer": self.producer_id,
+            "pseq": self.pseq,
+        }
+        record.update(details)
+        self.daemon.perf.incr("changelog.emit")
+        self.daemon.cast(self.writer, "changelog_event", record)
+        return record
+
+    def on_daemon_restart(self) -> None:
+        """New incarnation: fresh producer identity, counter reset."""
+        self.incarnation += 1
+        self.pseq = 0

@@ -1,0 +1,55 @@
+"""Shard layout: striping a changelog stream over shard objects.
+
+Same idea as :class:`repro.zlog.striping.StripeLayout`: the stream is
+divided over ``width`` objects in a dedicated pool so appends spread
+across OSDs.  Placement is a pure function of the record's
+``(producer, pseq)`` stamp — a writer retry lands on the *same* shard,
+which is what lets the shard class deduplicate it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import InvalidArgument
+from repro.rados.placement import stable_hash
+
+#: The dedicated changelog pool (size-1: observer traffic must not
+#: generate replication messages in the shared schedule).
+CHANGELOG_POOL = "changelog"
+
+
+class ChangelogLayout:
+    """Maps records to shard objects ``changelog.<name>.shard.<i>``."""
+
+    def __init__(self, name: str = "changelog", width: int = 4,
+                 pool: str = CHANGELOG_POOL):
+        if not name:
+            raise InvalidArgument("layout needs a stream name")
+        if width < 1:
+            raise InvalidArgument(f"shard width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self.pool = pool
+
+    def object_of(self, shard: int) -> str:
+        if not 0 <= shard < self.width:
+            raise InvalidArgument(f"shard {shard} out of range "
+                                  f"[0, {self.width})")
+        return f"changelog.{self.name}.shard.{shard}"
+
+    def shard_of(self, producer: str, pseq: int) -> int:
+        """Shard for one record: producer-keyed, round-robin by pseq."""
+        return (stable_hash(producer) + pseq) % self.width
+
+    def all_objects(self) -> List[str]:
+        return [self.object_of(i) for i in range(self.width)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "width": self.width,
+                "pool": self.pool}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChangelogLayout":
+        return cls(name=data["name"], width=int(data["width"]),
+                   pool=data.get("pool", CHANGELOG_POOL))

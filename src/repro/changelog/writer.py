@@ -1,0 +1,287 @@
+"""The changelog writer: buffers producer events, appends to shards.
+
+Producers ``cast`` records at the writer and move on; the writer
+batches them per shard on a fixed flush period and appends each batch
+through ``cls_changelog.append`` under its fencing epoch.  After every
+successful append it notifies the shard object so tailing consumers
+wake immediately instead of waiting for their polling fallback.
+
+Failure model
+-------------
+* A flush that *times out* may or may not have applied; the buffer is
+  retained and retried, and the class's ``(producer, pseq)`` dedup
+  absorbs the replay — no gaps, no duplicates.
+* A :class:`~repro.errors.StaleEpoch` rejection means a newer writer
+  sealed the shards; this writer stops appending (fenced) and drops
+  further events, exactly like a fenced zlog client.
+* A shard that is *not sealed at the writer's epoch* rejects the write
+  (retryable).  That is the seal-before-write invariant: if the sole
+  OSD of a size-1 shard PG flaps, the map may briefly hand the PG to a
+  peer that fabricates an empty shard object — appends there would
+  fork the history and be discarded when the map flips back.  The
+  unsealed impostor refuses, the batch stays buffered, and the replay
+  lands on the real shard once it is reachable again.
+* On restart the writer re-seals every shard at a higher epoch,
+  fencing any zombie of its previous incarnation.
+
+Determinism contract (same as the mgr)
+--------------------------------------
+The writer is an observer bolted onto the side of the cluster: it
+installs a fixed-latency network override for its own endpoint, ticks
+with zero jitter, and never writes to the monitors after boot — so a
+changelog-enabled run leaves the non-changelog daemons' schedule
+byte-identical (pinned by an integration test).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.changelog.shards import CHANGELOG_POOL, ChangelogLayout
+from repro.errors import MalacologyError, StaleEpoch
+from repro.msg import Daemon
+from repro.rados.client import RadosClient
+from repro.sim.kernel import Simulator
+from repro.sim.network import FixedLatency, Network
+
+
+class ChangelogWriter(Daemon, RadosClient):
+    """Buffers changelog records and appends them under an epoch."""
+
+    #: Fixed one-way delay for all changelog traffic (see module doc).
+    CHANGELOG_LATENCY = 100e-6
+    FLUSH_INTERVAL = 0.05
+    TRIM_INTERVAL = 5.0
+    POOL_SIZE = 1
+    POOL_PG_NUM = 8
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 mon_names: List[str],
+                 layout: Optional[ChangelogLayout] = None):
+        super().__init__(sim, network, name)
+        network.set_latency_override(
+            name, FixedLatency(self.CHANGELOG_LATENCY))
+        self.init_mon_client(mon_names)
+        self.layout = layout or ChangelogLayout()
+        self.booted = False
+        self.fenced = False
+        self.epoch = 0
+        #: shard index -> pending records, in arrival order.
+        self.buffers: Dict[int, List[Dict[str, Any]]] = {}
+        #: shard index -> last seq this writer appended.
+        self._shard_last: Dict[int, int] = {}
+        #: shard index -> last get_state reply (trim tick refreshes).
+        self._shard_state: Dict[int, Dict[str, Any]] = {}
+        #: cursor name -> total lag (records behind, summed over shards).
+        self._cursor_lag: Dict[str, int] = {}
+        self._lag_gauges: set = set()
+
+        self.perf.gauge_fn("changelog.buffered",
+                           lambda: float(sum(len(b) for b in
+                                             self.buffers.values())))
+        self.perf.gauge_fn("changelog.retained",
+                           lambda: float(sum(
+                               s.get("entries", 0)
+                               for s in self._shard_state.values())))
+        for i in range(self.layout.width):
+            self.perf.gauge_fn(
+                f"changelog.shard.{i}.entries",
+                lambda i=i: float(
+                    self._shard_state.get(i, {}).get("entries", 0)))
+        self.register_handler("changelog_event", self._h_event)
+        self.register_admin_command("changelog.status",
+                                    lambda args: self.status())
+        self.spawn(self._boot(), name=f"{self.name}:boot")
+
+    # ------------------------------------------------------------------
+    # Boot: pool, fencing epoch, tickers
+    # ------------------------------------------------------------------
+    def _boot(self) -> Generator:
+        yield from self.mon_subscribe(["osd"])
+        osdmap = yield from self.mon_get_map("osd")
+        if self.layout.pool not in osdmap.pools:
+            # cluster.build normally pre-creates the pool; this is the
+            # standalone-bringup fallback.
+            yield from self.rados_create_pool(
+                self.layout.pool, size=self.POOL_SIZE,
+                pg_num=self.POOL_PG_NUM)
+        yield from self._fence()
+        self.every(self.FLUSH_INTERVAL, self._flush_tick,
+                   name=f"{self.name}:flush")
+        self.every(self.TRIM_INTERVAL, self._trim_tick,
+                   name=f"{self.name}:trim")
+        self.booted = True
+
+    def _fence(self) -> Generator:
+        """Install a fresh epoch on every shard, fencing predecessors."""
+        sealed = 0
+        for shard in range(self.layout.width):
+            state = yield from self._exec(shard, "get_state", {})
+            sealed = max(sealed, state["epoch"])
+            self._shard_state[shard] = state
+            self._shard_last[shard] = state["last_seq"]
+        self.epoch = sealed + 1
+        for shard in range(self.layout.width):
+            yield from self._exec(shard, "seal", {"epoch": self.epoch})
+        self.fenced = False
+
+    def _exec(self, shard: int, method: str,
+              args: Dict[str, Any]) -> Generator:
+        out = yield from self.rados_exec(
+            self.layout.pool, self.layout.object_of(shard),
+            "changelog", method, args)
+        return out
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def _h_event(self, src: str, record: Dict[str, Any]) -> None:
+        if self.fenced:
+            self.perf.incr("changelog.dropped.fenced")
+            return
+        shard = self.layout.shard_of(record["producer"], record["pseq"])
+        self.buffers.setdefault(shard, []).append(record)
+        self.perf.incr("changelog.received")
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def _flush_tick(self) -> Generator:
+        return self._flush()
+
+    def _flush(self) -> Generator:
+        if self.fenced:
+            return
+        for shard in sorted(self.buffers):
+            buf = self.buffers[shard]
+            if not buf:
+                continue
+            # Snapshot the batch length: events cast while this append
+            # is in flight land behind it and flush next tick.
+            batch = list(buf)
+            try:
+                out = yield from self._exec(
+                    shard, "append",
+                    {"epoch": self.epoch, "records": batch})
+            except StaleEpoch:
+                # A successor writer sealed past us; stop appending.
+                self.fenced = True
+                self.perf.incr("changelog.fenced")
+                return
+            except MalacologyError:
+                # Ambiguous failure: keep the batch, replay next tick.
+                # The class dedups by (producer, pseq) if it did apply.
+                self.perf.incr("changelog.flush.retry")
+                continue
+            del buf[:len(batch)]
+            self._shard_last[shard] = out["last_seq"]
+            if out["appended"]:
+                self.perf.incr("changelog.appended", out["appended"])
+            if out["skipped"]:
+                self.perf.incr("changelog.dedup_skipped", out["skipped"])
+            try:
+                yield from self.rados_notify(
+                    self.layout.pool, self.layout.object_of(shard),
+                    {"shard": shard, "last_seq": out["last_seq"]})
+            except MalacologyError:
+                # Wakeup lost; consumers fall back to polling.
+                self.perf.incr("changelog.notify.failed")
+
+    # ------------------------------------------------------------------
+    # Trim + lag accounting
+    # ------------------------------------------------------------------
+    def _trim_tick(self) -> Generator:
+        return self._trim()
+
+    def _trim(self) -> Generator:
+        if self.fenced:
+            return
+        lag: Dict[str, int] = {}
+        for shard in range(self.layout.width):
+            try:
+                state = yield from self._exec(shard, "get_state", {})
+            except MalacologyError:
+                self.perf.incr("changelog.trim.retry")
+                continue
+            self._shard_state[shard] = state
+            last = state["last_seq"]
+            cursors = state["cursors"]
+            for cname, cseq in cursors.items():
+                lag[cname] = lag.get(cname, 0) + max(0, last - cseq)
+            if not cursors:
+                continue
+            floor = min(cursors.values())
+            first = state.get("first_seq")
+            if first is None or floor < first:
+                continue
+            try:
+                out = yield from self._exec(
+                    shard, "trim",
+                    {"epoch": self.epoch, "to_seq": floor})
+            except StaleEpoch:
+                self.fenced = True
+                self.perf.incr("changelog.fenced")
+                return
+            except MalacologyError:
+                self.perf.incr("changelog.trim.retry")
+                continue
+            if out["trimmed"]:
+                self.perf.incr("changelog.trimmed", out["trimmed"])
+                state["entries"] -= out["trimmed"]
+        self._cursor_lag = lag
+        for cname in lag:
+            if cname not in self._lag_gauges:
+                # gauge_fn bindings survive perf.reset(), so a lazily
+                # registered gauge outlives writer crash/restart.
+                self._lag_gauges.add(cname)
+                self.perf.gauge_fn(
+                    f"changelog.lag.{cname}",
+                    lambda n=cname: float(self._cursor_lag.get(n, 0)))
+
+    # ------------------------------------------------------------------
+    # Admin surface (pure derived state; no cluster traffic)
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        shards = {}
+        for i in range(self.layout.width):
+            state = self._shard_state.get(i, {})
+            shards[str(i)] = {
+                "object": self.layout.object_of(i),
+                "last_seq": self._shard_last.get(
+                    i, state.get("last_seq", -1)),
+                "entries": state.get("entries", 0),
+                "buffered": len(self.buffers.get(i, [])),
+                "cursors": dict(state.get("cursors", {})),
+            }
+        return {
+            "time": self.sim.now,
+            "writer": self.name,
+            "epoch": self.epoch,
+            "fenced": self.fenced,
+            "booted": self.booted,
+            "layout": self.layout.to_dict(),
+            "appended": self.perf.get("changelog.appended"),
+            "trimmed": self.perf.get("changelog.trimmed"),
+            "buffered": sum(len(b) for b in self.buffers.values()),
+            "retained": sum(s.get("entries", 0)
+                            for s in self._shard_state.values()),
+            "lag": dict(sorted(self._cursor_lag.items())),
+            "shards": shards,
+        }
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.booted = False
+        self.fenced = False
+        self.buffers = {}
+        self._shard_state = {}
+        self._shard_last = {}
+        self._cursor_lag = {}
+
+    def on_restart(self) -> None:
+        # Re-boot re-fences at epoch + 1, so anything a zombie of the
+        # previous incarnation had in flight is rejected by the shards.
+        self.spawn(self._boot(), name=f"{self.name}:reboot")

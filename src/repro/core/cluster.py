@@ -14,6 +14,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional
 
+from repro.changelog import (
+    CHANGELOG_POOL,
+    AuditPipeline,
+    ChangelogConsumer,
+    ChangelogLayout,
+    ChangelogProducer,
+    ChangelogWriter,
+)
 from repro.errors import MalacologyError
 from repro.mds.client import FsClient
 from repro.mds.server import MDS, METADATA_POOL
@@ -53,6 +61,11 @@ class MalacologyCluster:
     DEFAULT_POOLS = {
         METADATA_POOL: {"size": 2, "pg_num": 32},
         "data": {"size": 2, "pg_num": 32},
+        # Present in every cluster (so the map/Paxos history is the
+        # same with or without the changelog enabled); size-1 so shard
+        # appends never generate replication traffic in the shared
+        # schedule.
+        CHANGELOG_POOL: {"size": 1, "pg_num": 8},
     }
 
     def __init__(self, sim: Simulator, net: Network,
@@ -65,6 +78,8 @@ class MalacologyCluster:
         self.mdss = mdss
         self.admin = admin
         self.mgr: Optional[MgrDaemon] = None
+        self.changelog_writer: Optional[ChangelogWriter] = None
+        self.changelog_consumers: List[ChangelogConsumer] = []
         self._client_seq = 0
 
     # ------------------------------------------------------------------
@@ -76,7 +91,7 @@ class MalacologyCluster:
               pools: Optional[Dict[str, Dict[str, Any]]] = None,
               latency: Optional[LatencyModel] = None,
               mon_backing: str = "ram", mgr: bool = False,
-              mgr_interval: float = 2.0,
+              mgr_interval: float = 2.0, changelog: bool = False,
               sanitize: Optional[bool] = None) -> "MalacologyCluster":
         sim = Simulator(seed=seed)
         # sanitize=True opts this cluster into the runtime protocol
@@ -114,6 +129,10 @@ class MalacologyCluster:
                 "MDS boot")
         cluster = cls(sim=sim, net=net, mons=monitors,
                       osds=osd_daemons, mdss=mds_daemons, admin=admin)
+        if changelog:
+            # Same non-perturbation contract as the mgr (see
+            # enable_changelog); boots during the settle window below.
+            cluster.enable_changelog()
         if mgr:
             # Created before the settle window so the mgr boots during
             # it.  Because the mgr's traffic never touches the shared
@@ -141,10 +160,49 @@ class MalacologyCluster:
             targets[o.name] = "osd"
         for d in self.mdss:
             targets[d.name] = "mds"
+        for d in self.changelog_daemons():
+            targets[d.name] = "changelog"
         self.mgr = MgrDaemon(self.sim, self.net, name, self.mon_names,
                              targets, checks=checks,
                              scrape_interval=interval)
         return self.mgr
+
+    def enable_changelog(self, shards: int = 4, audit: bool = True,
+                         name: str = "chlog0"
+                         ) -> ChangelogWriter:
+        """Attach the changelog subsystem: writer, producers, audit.
+
+        Does not advance simulated time (same as ``enable_mgr``); the
+        writer and consumers boot during the next sim run.  All
+        changelog daemons install fixed-latency network overrides and
+        producers emit via fire-and-forget casts, so the non-changelog
+        daemons' schedules are byte-identical with or without this
+        (pinned by an integration test).
+        """
+        if self.changelog_writer is not None:
+            return self.changelog_writer
+        layout = ChangelogLayout(width=shards)
+        self.changelog_writer = ChangelogWriter(
+            self.sim, self.net, name, self.mon_names, layout=layout)
+        for d in [*self.mdss, *self.osds]:
+            d.changelog = ChangelogProducer(d, name)
+        if audit:
+            self.changelog_consumers.append(AuditPipeline(
+                self.sim, self.net, f"{name}-audit", self.mon_names,
+                layout=layout))
+        return self.changelog_writer
+
+    def changelog_daemons(self) -> List[Daemon]:
+        extra = [self.changelog_writer] \
+            if self.changelog_writer is not None else []
+        return [*extra, *self.changelog_consumers]
+
+    @property
+    def audit_pipeline(self) -> Optional[AuditPipeline]:
+        for c in self.changelog_consumers:
+            if isinstance(c, AuditPipeline):
+                return c
+        return None
 
     # ------------------------------------------------------------------
     # Driving
@@ -173,7 +231,8 @@ class MalacologyCluster:
     def daemons(self) -> List[Daemon]:
         """Every daemon the cluster booted (clients are not included)."""
         extra = [self.mgr] if self.mgr is not None else []
-        return [*self.mons, *self.osds, *self.mdss, *extra, self.admin]
+        return [*self.mons, *self.osds, *self.mdss,
+                *self.changelog_daemons(), *extra, self.admin]
 
     def daemon_command(self, daemon: str, command: str,
                        args: Optional[Dict[str, Any]] = None) -> Any:

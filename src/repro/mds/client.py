@@ -121,6 +121,11 @@ class FsClient(MonitorClient):
         result = yield from self.fs_request("unlink", path)
         return result
 
+    def fs_rename(self: Any, path: str, to: str) -> Generator:
+        """Rename a file (directories unsupported; see MDS._op_rename)."""
+        result = yield from self.fs_request("rename", path, {"to": to})
+        return result
+
     def fs_exec(self: Any, path: str, method: str,
                 args: Optional[Dict[str, Any]] = None) -> Generator:
         """Server-side File Type operation (round-trip path)."""

@@ -29,6 +29,7 @@ import copy
 from typing import Any, Dict, Generator, List, Optional, Set
 
 from repro.errors import (
+    AlreadyExists,
     CapRevoked,
     InvalidArgument,
     MalacologyError,
@@ -116,6 +117,9 @@ class MDS(Daemon, RadosClient):
         self.booted = False
         #: Bench hook: fn(op, sim_time) on every locally served request.
         self.request_hook: Optional[Any] = None
+        #: Changelog producer shim (``repro.changelog.ChangelogProducer``)
+        #: attached by ``cluster.enable_changelog``; None = no changelog.
+        self.changelog: Optional[Any] = None
         #: Seconds of queued CPU work ahead of a request arriving now.
         self.perf.gauge_fn(
             "cpu.backlog",
@@ -287,6 +291,7 @@ class MDS(Daemon, RadosClient):
         self.ns.add(path, inode)
         yield from self._persist_entry(path, inode)
         yield from self._journal("mkdir", path, ino=inode.ino)
+        self._emit_changelog("mkdir", src, path, ino=inode.ino)
         return inode.to_dict()
 
     def _op_create(self, src: str, path: str,
@@ -299,6 +304,8 @@ class MDS(Daemon, RadosClient):
         yield from self._persist_entry(path, inode)
         yield from self._journal("create", path, ino=inode.ino,
                                  file_type=file_type)
+        self._emit_changelog("create", src, path, ino=inode.ino,
+                             file_type=file_type)
         return inode.to_dict()
 
     def _op_setattr(self, src: str, path: str,
@@ -315,6 +322,8 @@ class MDS(Daemon, RadosClient):
             inode.version += 1
         yield from self._persist_entry(path, inode)
         yield from self._journal("setattr", path, size=inode.size)
+        self._emit_changelog("setattr", src, path, ino=inode.ino,
+                             size=inode.size)
         return inode.to_dict()
 
     def _op_stat(self, src: str, path: str,
@@ -343,7 +352,47 @@ class MDS(Daemon, RadosClient):
             METADATA_POOL, dir_object_id(parent_of(path)),
             [{"op": "omap_del", "key": basename(path)}])
         yield from self._journal("unlink", path, ino=inode.ino)
+        self._emit_changelog("unlink", src, path, ino=inode.ino)
         return None
+
+    def _op_rename(self, src: str, path: str,
+                   args: Dict[str, Any]) -> Generator:
+        """Rename a file within this rank's authority.
+
+        The namespace cache is path-keyed, so directory renames are
+        unsupported (same restriction as ``NamespaceCache``); files may
+        move across directories as long as both ends share the owning
+        rank.  Any delegated capability is recalled first so the
+        holder's dirty state lands before the dentry moves.
+        """
+        yield from self._consume_cpu(self.COST_MUTATE)
+        self.tracker.record_request(self.sim.now, path, self.COST_MUTATE)
+        to = validate_path(args.get("to", ""))
+        m = self.mdsmap
+        if m is None or m.owner_of(to) != self.rank:
+            raise InvalidArgument(
+                f"cross-rank rename {path} -> {to} unsupported")
+        for prefix in self._frozen:
+            if under(to, prefix):
+                raise TryAgain(f"{prefix} is migrating")
+        inode = self.ns.get(path)
+        if inode.kind == DIR:
+            raise InvalidArgument(
+                "directory rename unsupported (path-keyed namespace)")
+        if self.ns.has(to):
+            raise AlreadyExists(f"{to} exists")
+        if self.locker.holder_of(inode.ino) is not None:
+            yield from self._recall_cap(inode.ino)
+        self.ns.remove(path)
+        self.ns.add(to, inode)
+        self.tracker.forget_inode(path)
+        yield from self.rados_op(
+            METADATA_POOL, dir_object_id(parent_of(path)),
+            [{"op": "omap_del", "key": basename(path)}])
+        yield from self._persist_entry(to, inode)
+        yield from self._journal("rename", path, to=to, ino=inode.ino)
+        self._emit_changelog("rename", src, path, to=to, ino=inode.ino)
+        return inode.to_dict()
 
     def _persist_entry(self, path: str, inode: Inode) -> Generator:
         """Write-through: record the dentry in the parent's dir object."""
@@ -351,6 +400,13 @@ class MDS(Daemon, RadosClient):
             METADATA_POOL, dir_object_id(parent_of(path)),
             [{"op": "omap_set", "key": basename(path),
               "value": inode.to_dict()}])
+
+    def _emit_changelog(self, kind: str, actor: str, path: str,
+                        **details: Any) -> None:
+        """Fire-and-forget changelog emission (no-op when disabled)."""
+        if self.changelog is not None:
+            self.changelog.emit(kind, actor, path, rank=self.rank,
+                                **details)
 
     # ------------------------------------------------------------------
     # Metadata journal
@@ -656,6 +712,9 @@ class MDS(Daemon, RadosClient):
             for p in entries:
                 self.tracker.forget_inode(p)
             yield from self._journal("export", path, to_rank=target_rank)
+            self._emit_changelog("migrate", self.name, path,
+                                 to_rank=target_rank,
+                                 inodes=len(entries))
             self.perf.incr("migrate.export")
             self.perf.incr("migrate.inodes", len(entries))
             yield from self.mon_log(
@@ -722,6 +781,10 @@ class MDS(Daemon, RadosClient):
         self._cpu_free_at = 0.0
 
     def on_restart(self) -> None:
+        if self.changelog is not None:
+            # New incarnation: fresh producer identity so the shard
+            # class never mistakes the reset pseq counter for replays.
+            self.changelog.on_daemon_restart()
         self.spawn(self._boot(), name=f"{self.name}:reboot")
 
     #: Dispatch table (class attribute so subclasses can extend).
@@ -730,6 +793,7 @@ class MDS(Daemon, RadosClient):
         "create": _op_create,
         "stat": _op_stat,
         "setattr": _op_setattr,
+        "rename": _op_rename,
         "readdir": _op_readdir,
         "unlink": _op_unlink,
         "ftype_exec": _op_ftype_exec,

@@ -97,6 +97,8 @@ class MgrDaemon(Daemon, MonitorClient):
             "metrics.export", lambda args: self.metrics_export())
         self.register_admin_command(
             "audit.dump", lambda args: self.audit_dump(args))
+        self.register_admin_command(
+            "changelog.status", lambda args: self.changelog_status())
         self.spawn(self._boot(), name=f"{self.name}:boot")
 
     # ------------------------------------------------------------------
@@ -241,6 +243,49 @@ class MgrDaemon(Daemon, MonitorClient):
     def metrics_export(self) -> str:
         """Prometheus text format over the last scrape's dumps."""
         return prometheus_export(self._last_dumps)
+
+    def changelog_status(self) -> Dict[str, Any]:
+        """Changelog stream health, derived from the last scrape.
+
+        Pure aggregation over the already-collected dumps (no cluster
+        traffic): append/trim totals, retained backlog, per-cursor lag
+        gauges, and audit pipeline record counts.
+        """
+        daemons = sorted(n for n, role in self.targets.items()
+                         if role == "changelog")
+        out: Dict[str, Any] = {
+            "time": self.sim.now,
+            "daemons": daemons,
+            "appended": 0.0,
+            "trimmed": 0.0,
+            "consumed": 0.0,
+            "buffered": 0.0,
+            "retained": 0.0,
+            "audit_records": 0.0,
+            "lag": {},
+        }
+        for name in daemons:
+            dump = self._last_dumps.get(name)
+            if dump is None:
+                continue
+            counters = dump.get("counters", {})
+            gauges = dump.get("gauges", {})
+            out["appended"] += counters.get("changelog.appended", 0.0)
+            out["trimmed"] += counters.get("changelog.trimmed", 0.0)
+            out["consumed"] += counters.get("changelog.consumed", 0.0)
+            out["buffered"] += gauges.get("changelog.buffered", 0.0)
+            out["retained"] += gauges.get("changelog.retained", 0.0)
+            out["audit_records"] += gauges.get("audit.records", 0.0)
+            for gname, value in gauges.items():
+                if gname.startswith("changelog.lag."):
+                    cursor = gname[len("changelog.lag."):]
+                    out["lag"][cursor] = value
+        report = self.health()
+        out["health"] = {
+            name: check["summary"]
+            for name, check in report.get("checks", {}).items()
+            if name.startswith("CHANGELOG_")}
+        return out
 
     def audit_dump(self, args: Optional[Dict[str, Any]] = None
                    ) -> List[Dict[str, Any]]:

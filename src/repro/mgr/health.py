@@ -345,6 +345,87 @@ class SubtreeImbalanceCheck(HealthCheck):
             loads=loads, ratio=self.ratio)
 
 
+class ChangelogConsumerLagCheck(HealthCheck):
+    """A changelog consumer has fallen too far behind the stream.
+
+    The writer publishes one ``changelog.lag.<cursor>`` gauge per
+    registered cursor (records behind, summed over shards).  A large
+    lag means a consumer is slow, paused, or dead — and because trim
+    cannot pass the slowest cursor, the backlog it pins only grows.
+    """
+
+    name = "CHANGELOG_CONSUMER_LAG"
+
+    def __init__(self, max_lag: float = 200.0):
+        self.max_lag = max_lag
+
+    def evaluate(self, sample: ClusterSample
+                 ) -> Optional[HealthCheckResult]:
+        lagging: Dict[str, float] = {}
+        for daemon in sample.named("changelog"):
+            gauges = sample.dumps.get(daemon, {}).get("gauges", {})
+            for name, value in gauges.items():
+                if not name.startswith("changelog.lag."):
+                    continue
+                if isinstance(value, (int, float)) \
+                        and value > self.max_lag:
+                    cursor = name[len("changelog.lag."):]
+                    lagging[cursor] = float(value)
+        if not lagging:
+            return None
+        return self.result(
+            HEALTH_WARN,
+            f"changelog consumer(s) lagging >{self.max_lag:.0f} "
+            f"records: {', '.join(sorted(lagging))}",
+            cursors=lagging, max_lag=self.max_lag)
+
+
+class ChangelogTrimStalledCheck(HealthCheck):
+    """Records accumulate but trim reclaims nothing.
+
+    Fires when the writer's retained-record gauge stays above the
+    threshold for a whole window during which appends happened but the
+    trim counter did not move — the stream is growing without bound
+    (e.g. a registered cursor stopped acking).
+    """
+
+    name = "CHANGELOG_TRIM_STALLED"
+
+    def __init__(self, min_retained: float = 500.0,
+                 window: float = 10.0, min_scrapes: int = 3):
+        self.min_retained = min_retained
+        self.window = window
+        self.min_scrapes = min_scrapes
+
+    def evaluate(self, sample: ClusterSample
+                 ) -> Optional[HealthCheckResult]:
+        stalled: Dict[str, float] = {}
+        for daemon in sample.named("changelog"):
+            series = sample.series.get(daemon)
+            if series is None:
+                continue
+            retained = series.maybe("gauge:changelog.retained")
+            if retained is None or len(retained) < self.min_scrapes:
+                continue
+            floor = retained.min_over(self.window)
+            if floor < self.min_retained:
+                continue
+            appended = series.maybe("counter:changelog.appended")
+            trimmed = series.maybe("counter:changelog.trimmed")
+            grew = appended.delta(self.window) if appended else 0.0
+            reclaimed = trimmed.delta(self.window) if trimmed else 0.0
+            if grew > 0 and reclaimed <= 0:
+                stalled[daemon] = floor
+        if not stalled:
+            return None
+        return self.result(
+            HEALTH_WARN,
+            f"changelog trim stalled: >{self.min_retained:.0f} records "
+            f"retained with no reclaim for {self.window:.0f}s on "
+            f"{', '.join(sorted(stalled))}",
+            writers=stalled, window=self.window)
+
+
 def default_checks() -> List[HealthCheck]:
     """The standard check set the mgr evaluates every scrape."""
     return [
@@ -355,6 +436,8 @@ def default_checks() -> List[HealthCheck]:
         CapRevokeStuckCheck(),
         SequencerChurnCheck(),
         SubtreeImbalanceCheck(),
+        ChangelogConsumerLagCheck(),
+        ChangelogTrimStalledCheck(),
     ]
 
 
@@ -381,8 +464,11 @@ def sample_cluster(cluster: Any,
     """
     sample = ClusterSample(time=cluster.sim.now,
                            series=series if series is not None else {})
+    changelog = getattr(cluster, "changelog_daemons", None)
+    extra = changelog() if callable(changelog) else []
     for role, daemons in (("mon", cluster.mons), ("osd", cluster.osds),
-                          ("mds", cluster.mdss)):
+                          ("mds", cluster.mdss),
+                          ("changelog", extra)):
         for d in daemons:
             sample.roles[d.name] = role
             dump = d.admin_command("telemetry.dump")

@@ -10,6 +10,7 @@ classes then layer on top at runtime.
 from __future__ import annotations
 
 from repro.objclass.bundled import (
+    cls_changelog,
     cls_kvstore,
     cls_lock,
     cls_log,
@@ -31,6 +32,7 @@ BUNDLED_CLASSES = {
     "kvstore": cls_kvstore,
     "snapshot": cls_snapshot,
     "refcount": cls_refcount,
+    "changelog": cls_changelog,
 }
 
 

@@ -1,0 +1,246 @@
+"""Changelog shard class: fenced append, cursors, guarded trim.
+
+One changelog stream is striped over several shard objects (see
+:mod:`repro.changelog.shards`); each shard runs this class
+independently, the same division of labor as ``cls_zlog``.  The class
+composes the native interfaces transactionally (paper section 4.2):
+
+* ``append`` — epoch-fenced batch append.  The *class* assigns the
+  monotone per-shard sequence number and deduplicates by the caller's
+  ``(producer, pseq)`` stamp, so a writer that retries after a timeout
+  can never create gaps or duplicates in the shard;
+* ``list`` — bounded pagination by sequence number (``from_seq``
+  exclusive), mirroring the guard on ``cls_log.list_entries``;
+* ``seal`` — CORFU-style epoch install: a recovering writer fences
+  every stale predecessor in one round;
+* ``cursor_set`` / ``cursor_get`` / ``cursor_list`` — durable named
+  consumer positions stored in the shard's omap;
+* ``trim`` — reclaims acknowledged records, refusing to pass the
+  slowest registered cursor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import (
+    InvalidArgument,
+    NotPermitted,
+    StaleEpoch,
+    TryAgain,
+)
+from repro.objclass.context import MethodContext
+
+CATEGORY = "logging"
+
+#: Pagination guard: one ``list`` reply never carries more than this.
+MAX_LIST_ENTRIES = 256
+_DEFAULT_LIST = 100
+
+_EPOCH_XATTR = "chlog.epoch"
+_LASTSEQ_XATTR = "chlog.last_seq"
+_PSEQ_XATTR = "chlog.pseq"
+
+_KEY_WIDTH = 16
+
+
+def _rec_key(seq: int) -> str:
+    return f"rec.{seq:0{_KEY_WIDTH}d}"
+
+
+def _cursor_key(name: str) -> str:
+    return f"cursor.{name}"
+
+
+def _check_epoch(ctx: MethodContext, args: Dict[str, Any]) -> int:
+    """Write ops require the shard sealed at *exactly* their epoch.
+
+    ``epoch < sealed`` is a fenced predecessor (permanent, CORFU
+    semantics).  ``epoch > sealed`` means this object was never sealed
+    for the writer's epoch — which is how a *split-brain impostor*
+    looks: a size-1 PG whose sole OSD flaps gets remapped to a peer
+    that starts an empty shard object (sealed 0).  Accepting writes
+    there would fork the history and lose records when the map flips
+    back, so the class refuses with a retryable error and the writer
+    replays the batch until the sealed shard is reachable again.
+    """
+    epoch = args.get("epoch")
+    if epoch is None:
+        raise InvalidArgument("changelog write ops require an epoch tag")
+    sealed = ctx.xattr_get(_EPOCH_XATTR, 0)
+    if epoch < sealed:
+        raise StaleEpoch(
+            f"epoch {epoch} < sealed epoch {sealed} on {ctx.oid}")
+    if epoch > sealed:
+        raise TryAgain(
+            f"{ctx.oid} not sealed at epoch {epoch} (sealed {sealed}); "
+            "unsealed or impostor shard — retry after recovery")
+    return epoch
+
+
+def _clamp_max(args: Dict[str, Any]) -> int:
+    raw = args.get("max", _DEFAULT_LIST)
+    if not isinstance(raw, int) or raw < 1:
+        raise InvalidArgument(f"bad list max {raw!r}")
+    return min(raw, MAX_LIST_ENTRIES)
+
+
+def append(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Epoch-fenced, idempotent batch append.
+
+    ``{"epoch": e, "records": [{"producer": p, "pseq": n, ...}, ...]}``.
+    Records whose ``(producer, pseq)`` was already applied are skipped,
+    so redelivery after an ack was lost is harmless.  Returns
+    ``{"appended", "skipped", "last_seq"}``.
+    """
+    _check_epoch(ctx, args)
+    records = args.get("records")
+    if not isinstance(records, list) or not records:
+        raise InvalidArgument("changelog.append requires records")
+    ctx.create(exclusive=False)
+    last_seq = ctx.xattr_get(_LASTSEQ_XATTR, -1)
+    pseq_map = dict(ctx.xattr_get(_PSEQ_XATTR, {}))
+    appended = 0
+    skipped = 0
+    for rec in records:
+        producer = rec.get("producer")
+        pseq = rec.get("pseq")
+        if not isinstance(producer, str) or not isinstance(pseq, int):
+            raise InvalidArgument("record needs producer (str) and "
+                                  "pseq (int)")
+        if pseq <= pseq_map.get(producer, 0):
+            skipped += 1
+            continue
+        last_seq += 1
+        stored = dict(rec)
+        stored["seq"] = last_seq
+        ctx.omap_set(_rec_key(last_seq), stored)
+        pseq_map[producer] = pseq
+        appended += 1
+    if appended:
+        ctx.xattr_set(_LASTSEQ_XATTR, last_seq)
+        ctx.xattr_set(_PSEQ_XATTR, pseq_map)
+    return {"appended": appended, "skipped": skipped,
+            "last_seq": last_seq}
+
+
+def list_records(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Paginated scan: records with seq > ``from_seq``, bounded."""
+    from_seq = args.get("from_seq", -1)
+    if not isinstance(from_seq, int):
+        raise InvalidArgument(f"bad from_seq {from_seq!r}")
+    limit = _clamp_max(args)
+    start = _rec_key(from_seq) if from_seq >= 0 else ""
+    items = ctx.omap_list(start=start, max_items=limit, prefix="rec.")
+    entries = [v for _, v in items]
+    cursor = entries[-1]["seq"] if entries else from_seq
+    return {
+        "entries": entries,
+        "cursor": cursor,
+        "truncated": len(items) == limit,
+        "last_seq": ctx.xattr_get(_LASTSEQ_XATTR, -1),
+    }
+
+
+def get_state(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Shard summary: epoch, bounds, retained count, cursors."""
+    first = ctx.omap_list(max_items=1, prefix="rec.")
+    retained = len(ctx.omap_list(prefix="rec."))
+    return {
+        "epoch": ctx.xattr_get(_EPOCH_XATTR, 0),
+        "last_seq": ctx.xattr_get(_LASTSEQ_XATTR, -1),
+        "first_seq": first[0][1]["seq"] if first else None,
+        "entries": retained,
+        "cursors": _cursors(ctx),
+    }
+
+
+def seal(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Install a new epoch, fencing every older writer.
+
+    Like ``cls_zlog.seal``: sealing with epoch <= the current one is
+    rejected, so concurrent writer recoveries serialize.
+    """
+    epoch = args.get("epoch")
+    if epoch is None:
+        raise InvalidArgument("seal requires an epoch")
+    sealed = ctx.xattr_get(_EPOCH_XATTR, 0)
+    if epoch <= sealed:
+        raise StaleEpoch(f"seal epoch {epoch} <= sealed {sealed}")
+    ctx.create(exclusive=False)
+    ctx.xattr_set(_EPOCH_XATTR, epoch)
+    return {"last_seq": ctx.xattr_get(_LASTSEQ_XATTR, -1)}
+
+
+def cursor_set(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Advance a durable named cursor (monotone; regressions ignored)."""
+    name = args.get("name")
+    seq = args.get("seq")
+    if not isinstance(name, str) or not name:
+        raise InvalidArgument("cursor_set requires a name")
+    if not isinstance(seq, int) or seq < -1:
+        raise InvalidArgument(f"bad cursor seq {seq!r}")
+    ctx.create(exclusive=False)
+    key = _cursor_key(name)
+    current = ctx.omap_get(key)["seq"] if ctx.omap_has(key) else -1
+    new = max(current, seq)
+    ctx.omap_set(key, {"seq": new, "updated": ctx.now})
+    return {"seq": new}
+
+
+def cursor_get(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    name = args.get("name")
+    if not isinstance(name, str) or not name:
+        raise InvalidArgument("cursor_get requires a name")
+    key = _cursor_key(name)
+    if not ctx.omap_has(key):
+        return {"seq": -1}
+    return {"seq": ctx.omap_get(key)["seq"]}
+
+
+def cursor_list(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"cursors": _cursors(ctx)}
+
+
+def _cursors(ctx: MethodContext) -> Dict[str, int]:
+    return {k[len("cursor."):]: v["seq"]
+            for k, v in ctx.omap_list(prefix="cursor.")}
+
+
+def trim(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
+    """Reclaim records with seq <= ``to_seq``.
+
+    Fenced like ``append``; refuses to pass the slowest registered
+    cursor (and refuses entirely when no consumer registered — trimming
+    unconsumed history is what cursors exist to prevent).
+    """
+    _check_epoch(ctx, args)
+    to_seq = args.get("to_seq")
+    if not isinstance(to_seq, int):
+        raise InvalidArgument(f"bad trim to_seq {to_seq!r}")
+    cursors = _cursors(ctx)
+    if not cursors:
+        raise NotPermitted(f"no cursors registered on {ctx.oid}; "
+                           "refusing to trim unconsumed records")
+    floor = min(cursors.values())
+    if to_seq > floor:
+        raise NotPermitted(
+            f"trim to {to_seq} would pass slowest cursor at {floor}")
+    victims: List[Tuple[str, Any]] = [
+        (k, v) for k, v in ctx.omap_list(prefix="rec.")
+        if v["seq"] <= to_seq]
+    for k, _ in victims:
+        ctx.omap_del(k)
+    return {"trimmed": len(victims)}
+
+
+METHODS = {
+    "append": append,
+    "list": list_records,
+    "get_state": get_state,
+    "seal": seal,
+    "cursor_set": cursor_set,
+    "cursor_get": cursor_get,
+    "cursor_list": cursor_list,
+    "trim": trim,
+}

@@ -16,6 +16,11 @@ CATEGORY = "logging"
 
 _SEQ_XATTR = "log.seq"
 
+#: Pagination guard: one ``list`` reply never carries more than this,
+#: however large a ``max`` the caller asks for.
+MAX_ENTRIES = 256
+_DEFAULT_LIST = 100
+
 
 def _entry_key(ts: float, seq: int) -> str:
     return f"entry.{ts:020.6f}.{seq:012d}"
@@ -35,14 +40,23 @@ def add(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def list_entries(ctx: MethodContext, args: Dict[str, Any]) -> Dict[str, Any]:
-    """List entries after cursor ``start`` (exclusive), up to ``max``."""
-    items = ctx.omap_list(start=args.get("start", ""),
-                          max_items=args.get("max", 100),
-                          prefix="entry.")
+    """List entries after a cursor (exclusive), bounded pagination.
+
+    The continuation cursor may be passed as ``from_key`` (preferred)
+    or the legacy ``start``; ``max`` is clamped to ``MAX_ENTRIES`` so
+    an unbounded scan can't balloon a single reply.  Callers resume
+    from the returned ``cursor`` while ``truncated`` is set.
+    """
+    raw_max = args.get("max", _DEFAULT_LIST)
+    if not isinstance(raw_max, int) or raw_max < 1:
+        raise InvalidArgument(f"bad list max {raw_max!r}")
+    limit = min(raw_max, MAX_ENTRIES)
+    start = args.get("from_key", args.get("start", ""))
+    items = ctx.omap_list(start=start, max_items=limit, prefix="entry.")
     return {
         "entries": [v for _, v in items],
-        "cursor": items[-1][0] if items else args.get("start", ""),
-        "truncated": len(items) == args.get("max", 100),
+        "cursor": items[-1][0] if items else start,
+        "truncated": len(items) == limit,
     }
 
 

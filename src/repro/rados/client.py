@@ -31,6 +31,11 @@ class RadosClient(MonitorClient):
     OSD_TIMEOUT = 2.0
     OSD_RETRIES = 8
     RETRY_BACKOFF = 0.1
+    #: Watch sessions are volatile on the OSD; with auto-re-watch on, a
+    #: guard ticker probes each watched object's primary and silently
+    #: re-establishes any watch lost to an OSD restart or failover.
+    WATCH_AUTO_REWATCH = True
+    WATCH_REFRESH_INTERVAL = 2.0
 
     # ------------------------------------------------------------------
     # Core op submission
@@ -136,6 +141,9 @@ class RadosClient(MonitorClient):
         notifier)``.
         """
         self._watch_callbacks = {}
+        #: (pool, oid) -> OSD we believe holds our watch session.
+        self._watch_primaries = {}
+        self._watch_guard_on = False
         if "watch_event" not in self._handlers:
             self.register_handler("watch_event", self._h_watch_event)
 
@@ -171,19 +179,73 @@ class RadosClient(MonitorClient):
                     callback: Any) -> Generator:
         """Subscribe to notifications on one object.
 
-        Watches live on the object's primary and are volatile across
-        OSD failover; callers should re-watch on error, as librados
-        applications do.
+        Watches live on the object's primary and the OSD-side session
+        is volatile across failover.  With ``WATCH_AUTO_REWATCH`` (the
+        default) a guard ticker detects the loss and re-establishes
+        the watch on the current primary, so delivery resumes after an
+        OSD restart without caller involvement; with it off, callers
+        must re-watch on error as classic librados applications do.
         """
         if not hasattr(self, "_watch_callbacks"):
             raise RuntimeError("call init_watch_client() first")
         self._watch_callbacks[(pool, oid)] = callback
         primary = yield from self._watch_op("osd_watch", pool, oid)
+        self._watch_primaries[(pool, oid)] = primary
+        self._ensure_watch_guard()
         return primary
 
     def rados_unwatch(self: Any, pool: str, oid: str) -> Generator:
         getattr(self, "_watch_callbacks", {}).pop((pool, oid), None)
+        getattr(self, "_watch_primaries", {}).pop((pool, oid), None)
         yield from self._watch_op("osd_unwatch", pool, oid)
+
+    # ------------------------------------------------------------------
+    # Watch re-establishment guard
+    # ------------------------------------------------------------------
+    def _ensure_watch_guard(self: Any) -> None:
+        if not self.WATCH_AUTO_REWATCH or self._watch_guard_on:
+            return
+        self._watch_guard_on = True
+        self.every(self.WATCH_REFRESH_INTERVAL, self._watch_guard_tick,
+                   name=f"{self.name}:rewatch")
+
+    def _watch_guard_tick(self: Any) -> Optional[Generator]:
+        if not self._watch_callbacks:
+            return None  # nothing watched right now: zero traffic
+        return self._watch_guard_pass()
+
+    def _watch_guard_pass(self: Any) -> Generator:
+        """Probe each watched object's primary; re-watch if lost.
+
+        The probe asks the *believed* primary whether our session is
+        still registered; a ``False`` (OSD restarted and forgot its
+        volatile watchers) or any error (down, no longer primary)
+        triggers a full re-watch through the normal map-refreshing
+        retry loop.
+        """
+        for key in sorted(self._watch_callbacks):
+            if key not in self._watch_callbacks:
+                continue  # unwatched while this pass was in flight
+            pool, oid = key
+            primary = self._watch_primaries.get(key)
+            alive = False
+            if primary is not None:
+                try:
+                    alive = yield self.call(
+                        primary, "osd_watch_check",
+                        {"pool": pool, "oid": oid},
+                        timeout=self.OSD_TIMEOUT)
+                except MalacologyError:
+                    alive = False
+            if alive:
+                continue
+            try:
+                new_primary = yield from self._watch_op("osd_watch",
+                                                        pool, oid)
+            except MalacologyError:
+                continue  # cluster still settling; retry next tick
+            self._watch_primaries[key] = new_primary
+            self.perf.incr("watch.reestablished")
 
     def rados_notify(self: Any, pool: str, oid: str,
                      payload: Any = None) -> Generator:

@@ -43,6 +43,12 @@ from repro.sim.network import Network
 
 PgId = Tuple[str, int]  # (pool, pg)
 
+#: Pools whose mutations never emit changelog records: the changelog's
+#: own pool (self-feedback loop) and the metadata pool (the MDS already
+#: emits the namespace-level record; its dir objects and journals would
+#: only duplicate it at object granularity).
+CHANGELOG_EXCLUDED_POOLS = frozenset({"changelog", "metadata"})
+
 
 class OSD(Daemon, MonitorClient):
     """One object storage daemon."""
@@ -77,6 +83,9 @@ class OSD(Daemon, MonitorClient):
         #: interface version becomes live on this OSD.
         self.interface_live_hook: Optional[
             Callable[[str, int, float], None]] = None
+        #: Changelog producer shim (``repro.changelog.ChangelogProducer``)
+        #: attached by ``cluster.enable_changelog``; None = no changelog.
+        self.changelog: Optional[Any] = None
         self.perf.gauge_fn("pg.count", lambda: len(self.pgs))
         self.perf.gauge_fn(
             "object.count",
@@ -102,6 +111,7 @@ class OSD(Daemon, MonitorClient):
 
         rh("osd_watch", self._h_watch)
         rh("osd_unwatch", self._h_unwatch)
+        rh("osd_watch_check", self._h_watch_check)
         rh("osd_notify", self._h_notify)
         rh("ec_shard_put", self._h_ec_shard_put)
         rh("ec_shard_get", self._h_ec_shard_get)
@@ -275,6 +285,10 @@ class OSD(Daemon, MonitorClient):
             else:
                 assert new_obj is not None
                 pg[oid] = new_obj
+            if (self.changelog is not None
+                    and pool not in CHANGELOG_EXCLUDED_POOLS):
+                self.changelog.emit("object_write", src, pool=pool,
+                                    oid=oid, removed=removed)
             yield from self._replicate(pool, pgid, oid, acting[1:],
                                        new_obj, removed)
         return results
@@ -536,6 +550,17 @@ class OSD(Daemon, MonitorClient):
                 del self.watchers[key]
         return True
 
+    def _h_watch_check(self, src: str, payload: Dict[str, Any]) -> bool:
+        """Is the caller currently registered as a watcher here?
+
+        Clients' auto-re-watch guard probes this cheaply; ``False``
+        (or ``NotPrimary`` after a failover) tells the client its watch
+        session died and must be re-established.
+        """
+        self._require_primary(payload["pool"], payload["oid"])
+        key = (payload["pool"], payload["oid"])
+        return src in self.watchers.get(key, ())
+
     def _h_notify(self, src: str, payload: Dict[str, Any]) -> int:
         """Fan a notification out to every watcher; returns the count."""
         self._require_primary(payload["pool"], payload["oid"])
@@ -652,6 +677,10 @@ class OSD(Daemon, MonitorClient):
         register_all(self.registry)
 
     def on_restart(self) -> None:
+        if self.changelog is not None:
+            # New incarnation: fresh producer identity so the shard
+            # class never mistakes the reset pseq counter for replays.
+            self.changelog.on_daemon_restart()
         self.spawn(self._boot(), name=f"{self.name}:reboot")
 
 

@@ -48,9 +48,17 @@ def test_unwatch_stops_delivery(cluster):
 
 
 def test_watches_are_volatile_across_osd_failover(cluster):
+    """OSD-side watch sessions die with the primary.
+
+    With the client's auto-re-watch guard opted out, this pins the raw
+    librados semantics: the watch is lost on failover until the caller
+    re-watches by hand.  (Guard-on recovery is covered in
+    test_watch_storms.py.)
+    """
     c = cluster
     c.do(c.admin.rados_write_full("data", "flappy", b"x"))
     w = watcher_client(c, "w4")
+    w.WATCH_AUTO_REWATCH = False  # instance-level opt-out
     cb = lambda pool, oid, payload, notifier: w.events.append(payload)
     c.sim.run_until_complete(w.do(w.rados_watch("data", "flappy", cb)))
     osdmap = c.mons[0].store.osdmap

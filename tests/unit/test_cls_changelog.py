@@ -1,0 +1,226 @@
+"""Unit tests for cls_changelog (and the cls_log pagination guard)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidArgument,
+    NotPermitted,
+    StaleEpoch,
+    TryAgain,
+)
+from repro.objclass import MethodContext
+from repro.objclass.bundled import cls_changelog, cls_log
+from repro.rados.objects import StoredObject
+
+
+def ctx_for(obj=None, oid="shard", epoch=None, now=0.0):
+    return MethodContext(obj, oid, epoch=epoch, now=now)
+
+
+def rec(producer, pseq, **extra):
+    r = {"producer": producer, "pseq": pseq, "kind": "create",
+         "actor": "client1", "path": f"/t/f{pseq}", "time": 0.0}
+    r.update(extra)
+    return r
+
+
+def shard_with(records, epoch=1):
+    """Build a shard object holding ``records`` (applied in order)."""
+    ctx = ctx_for(None)
+    cls_changelog.seal(ctx, {"epoch": epoch})
+    cls_changelog.append(ctx, {"epoch": epoch, "records": records})
+    obj, _ = ctx.outcome()
+    return obj
+
+
+# ----------------------------------------------------------------------
+# append: monotone seq, dedup, fencing
+# ----------------------------------------------------------------------
+def test_append_assigns_monotone_seqs():
+    ctx = ctx_for(None)
+    cls_changelog.seal(ctx, {"epoch": 1})  # seal-before-write
+    out = cls_changelog.append(
+        ctx, {"epoch": 1, "records": [rec("mds0#1", 1), rec("mds0#1", 2)]})
+    assert out == {"appended": 2, "skipped": 0, "last_seq": 1}
+    out = cls_changelog.append(
+        ctx, {"epoch": 1, "records": [rec("osd0#1", 1)]})
+    assert out["last_seq"] == 2
+    obj, _ = ctx.outcome()
+    listed = cls_changelog.list_records(ctx_for(obj), {})
+    assert [e["seq"] for e in listed["entries"]] == [0, 1, 2]
+
+
+def test_append_dedups_replayed_pseq():
+    obj = shard_with([rec("mds0#1", 1), rec("mds0#1", 2)])
+    ctx = ctx_for(obj)
+    # A writer retry replays pseq 1-2 and adds pseq 3.
+    out = cls_changelog.append(ctx, {"epoch": 1, "records": [
+        rec("mds0#1", 1), rec("mds0#1", 2), rec("mds0#1", 3)]})
+    assert out == {"appended": 1, "skipped": 2, "last_seq": 2}
+    obj2, _ = ctx.outcome()
+    listed = cls_changelog.list_records(ctx_for(obj2), {})
+    assert [e["pseq"] for e in listed["entries"]] == [1, 2, 3]
+    assert [e["seq"] for e in listed["entries"]] == [0, 1, 2]
+
+
+def test_append_tracks_pseq_per_producer():
+    obj = shard_with([rec("mds0#1", 5)])
+    ctx = ctx_for(obj)
+    # A different incarnation of the same daemon restarts at pseq 1.
+    out = cls_changelog.append(
+        ctx, {"epoch": 1, "records": [rec("mds0#2", 1)]})
+    assert out["appended"] == 1 and out["skipped"] == 0
+
+
+def test_append_is_epoch_fenced():
+    obj = shard_with([rec("mds0#1", 1)], epoch=3)
+    with pytest.raises(StaleEpoch):
+        cls_changelog.append(
+            ctx_for(obj), {"epoch": 2, "records": [rec("mds0#1", 2)]})
+    with pytest.raises(InvalidArgument):
+        cls_changelog.append(
+            ctx_for(obj), {"records": [rec("mds0#1", 2)]})
+
+
+def test_append_requires_seal_at_exact_epoch():
+    """Seal-before-write: an unsealed (impostor) shard refuses.
+
+    A remapped empty primary fabricates a shard object with sealed
+    epoch 0; accepting a higher-epoch append there would fork the
+    stream's history.  The rejection is retryable, not fencing.
+    """
+    with pytest.raises(TryAgain):
+        cls_changelog.append(
+            ctx_for(None), {"epoch": 1, "records": [rec("mds0#1", 1)]})
+    obj = shard_with([rec("mds0#1", 1)], epoch=3)
+    with pytest.raises(TryAgain):
+        cls_changelog.append(
+            ctx_for(obj), {"epoch": 4, "records": [rec("mds0#1", 2)]})
+    with pytest.raises(TryAgain):
+        cls_changelog.trim(ctx_for(obj), {"epoch": 4, "to_seq": 0})
+
+
+def test_seal_rejects_stale_and_returns_last_seq():
+    obj = shard_with([rec("mds0#1", 1), rec("mds0#1", 2)], epoch=2)
+    ctx = ctx_for(obj)
+    with pytest.raises(StaleEpoch):
+        cls_changelog.seal(ctx, {"epoch": 2})
+    out = cls_changelog.seal(ctx, {"epoch": 3})
+    assert out["last_seq"] == 1
+
+
+# ----------------------------------------------------------------------
+# list: pagination bounds
+# ----------------------------------------------------------------------
+def test_list_paginates_by_from_seq():
+    obj = shard_with([rec("mds0#1", i) for i in range(1, 11)])
+    page1 = cls_changelog.list_records(ctx_for(obj), {"max": 4})
+    assert [e["seq"] for e in page1["entries"]] == [0, 1, 2, 3]
+    assert page1["truncated"] and page1["cursor"] == 3
+    page2 = cls_changelog.list_records(
+        ctx_for(obj), {"from_seq": page1["cursor"], "max": 4})
+    assert [e["seq"] for e in page2["entries"]] == [4, 5, 6, 7]
+    page3 = cls_changelog.list_records(
+        ctx_for(obj), {"from_seq": page2["cursor"], "max": 4})
+    assert [e["seq"] for e in page3["entries"]] == [8, 9]
+    assert not page3["truncated"]
+
+
+def test_list_clamps_max():
+    obj = shard_with([rec("mds0#1", i) for i in range(1, 301)])
+    out = cls_changelog.list_records(ctx_for(obj), {"max": 100000})
+    assert len(out["entries"]) == cls_changelog.MAX_LIST_ENTRIES
+    assert out["truncated"]
+    with pytest.raises(InvalidArgument):
+        cls_changelog.list_records(ctx_for(obj), {"max": 0})
+
+
+# ----------------------------------------------------------------------
+# cursors
+# ----------------------------------------------------------------------
+def test_cursor_set_is_monotone():
+    ctx = ctx_for(None)
+    assert cls_changelog.cursor_set(
+        ctx, {"name": "audit", "seq": -1}) == {"seq": -1}
+    assert cls_changelog.cursor_set(
+        ctx, {"name": "audit", "seq": 7}) == {"seq": 7}
+    # Regressions are ignored (a replayed ack cannot move it back).
+    assert cls_changelog.cursor_set(
+        ctx, {"name": "audit", "seq": 3}) == {"seq": 7}
+    obj, _ = ctx.outcome()
+    assert cls_changelog.cursor_get(
+        ctx_for(obj), {"name": "audit"}) == {"seq": 7}
+    assert cls_changelog.cursor_get(
+        ctx_for(obj), {"name": "ghost"}) == {"seq": -1}
+    listed = cls_changelog.cursor_list(ctx_for(obj), {})
+    assert listed == {"cursors": {"audit": 7}}
+
+
+# ----------------------------------------------------------------------
+# trim: guarded by the slowest cursor
+# ----------------------------------------------------------------------
+def test_trim_refuses_without_cursors():
+    obj = shard_with([rec("mds0#1", 1)])
+    with pytest.raises(NotPermitted):
+        cls_changelog.trim(ctx_for(obj), {"epoch": 1, "to_seq": 0})
+
+
+def test_trim_cannot_pass_slowest_cursor():
+    obj = shard_with([rec("mds0#1", i) for i in range(1, 7)])
+    ctx = ctx_for(obj)
+    cls_changelog.cursor_set(ctx, {"name": "fast", "seq": 5})
+    cls_changelog.cursor_set(ctx, {"name": "slow", "seq": 2})
+    with pytest.raises(NotPermitted):
+        cls_changelog.trim(ctx, {"epoch": 1, "to_seq": 3})
+    out = cls_changelog.trim(ctx, {"epoch": 1, "to_seq": 2})
+    assert out == {"trimmed": 3}
+    obj2, _ = ctx.outcome()
+    state = cls_changelog.get_state(ctx_for(obj2), {})
+    assert state["first_seq"] == 3 and state["last_seq"] == 5
+    assert state["entries"] == 3
+    assert state["cursors"] == {"fast": 5, "slow": 2}
+
+
+def test_trim_is_epoch_fenced():
+    obj = shard_with([rec("mds0#1", 1)], epoch=4)
+    ctx = ctx_for(obj)
+    cls_changelog.cursor_set(ctx, {"name": "c", "seq": 0})
+    with pytest.raises(StaleEpoch):
+        cls_changelog.trim(ctx, {"epoch": 3, "to_seq": 0})
+
+
+# ----------------------------------------------------------------------
+# cls_log pagination guard (satellite: bounded scans + from_key)
+# ----------------------------------------------------------------------
+def log_with(n):
+    ctx = ctx_for(None, oid="log")
+    for i in range(n):
+        cls_log.add(ctx, {"payload": i, "ts": float(i)})
+    obj, _ = ctx.outcome()
+    return obj
+
+
+def test_cls_log_list_clamps_max():
+    obj = log_with(300)
+    out = cls_log.list_entries(ctx_for(obj, oid="log"), {"max": 100000})
+    assert len(out["entries"]) == cls_log.MAX_ENTRIES
+    assert out["truncated"]
+    with pytest.raises(InvalidArgument):
+        cls_log.list_entries(ctx_for(obj, oid="log"), {"max": -5})
+
+
+def test_cls_log_from_key_continuation():
+    obj = log_with(10)
+    page1 = cls_log.list_entries(ctx_for(obj, oid="log"), {"max": 6})
+    assert [e["payload"] for e in page1["entries"]] == list(range(6))
+    assert page1["truncated"]
+    page2 = cls_log.list_entries(
+        ctx_for(obj, oid="log"),
+        {"max": 6, "from_key": page1["cursor"]})
+    assert [e["payload"] for e in page2["entries"]] == [6, 7, 8, 9]
+    assert not page2["truncated"]
+    # Legacy "start" alias still works.
+    legacy = cls_log.list_entries(
+        ctx_for(obj, oid="log"),
+        {"max": 6, "start": page1["cursor"]})
+    assert legacy["entries"] == page2["entries"]
