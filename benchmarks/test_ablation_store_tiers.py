@@ -1,0 +1,140 @@
+"""Ablation: store backend tiers under a hot/cold object workload.
+
+The same client workload — a skewed read-mostly stream over a small
+hot set plus a long cold tail — races across the four pool profiles
+the store subsystem offers: pure MemStore, the log-structured store,
+the erasure-coded ColdStore, and ColdStore fronted by the write-back
+cache tier.  The shape claim is the classic tiering story: memory is
+the ceiling, cold EC storage is the floor, and a small cache buys back
+most of the gap whenever the working set fits.
+"""
+
+from bench_util import emit, emit_json, table
+
+from repro.core import MalacologyCluster
+
+OPS = 240
+HOT, COLD = 8, 64
+THINK_EVERY, THINK = 16, 0.5  # let flusher/compaction ticks run
+
+CONFIGS = {
+    "memstore": {"backend": "memstore"},
+    "logstructured": {"backend": "logstructured"},
+    "coldstore": {"backend": {"profile": "coldstore", "k": 2, "m": 1}},
+    "cached-cold": {"backend": "coldstore",
+                    "cache": {"capacity": 16, "promote_reads": 1}},
+}
+
+
+def quantile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def run_one(name, pool_cfg, seed=171):
+    cluster = MalacologyCluster.build(
+        osds=3, mdss=1, seed=seed,
+        pools={"metadata": {"size": 2, "pg_num": 32},
+               "data": {"size": 2, "pg_num": 8, **pool_cfg}})
+
+    def prime():
+        for i in range(HOT):
+            yield from cluster.admin.rados_write_full(
+                "data", f"hot{i}", bytes([i]) * 128)
+        for i in range(COLD):
+            yield from cluster.admin.rados_write_full(
+                "data", f"cold{i}", bytes([i % 251]) * 64)
+
+    cluster.do(prime())
+    cluster.run(2.0)  # settle: cold batches encode, caches write back
+
+    latencies = []
+    for i in range(OPS):
+        # 3 of 4 ops touch the hot set; 2 of 5 ops are writes.
+        oid = f"hot{i % HOT}" if i % 4 != 3 else f"cold{i % COLD}"
+        write = i % 5 < 2
+
+        def one_op(oid=oid, write=write, i=i):
+            if write:
+                yield from cluster.admin.rados_write_full(
+                    "data", oid, bytes([i % 251]) * 128)
+            else:
+                yield from cluster.admin.rados_read("data", oid)
+
+        started = cluster.sim.now
+        cluster.do(one_op())
+        latencies.append(cluster.sim.now - started)
+        if (i + 1) % THINK_EVERY == 0:
+            cluster.run(THINK)
+
+    busy = sum(latencies)
+    ordered = sorted(latencies)
+    counters = {}
+    for osd in cluster.osds:
+        for cname, val in osd.perf.dump()["counters"].items():
+            if cname.startswith("store."):
+                counters[cname] = counters.get(cname, 0) + val
+    hits = counters.get("store.cache.hit", 0)
+    misses = counters.get("store.cache.miss", 0)
+    return {
+        "throughput_ops_per_s": OPS / busy,
+        "latency_s": {
+            "mean": busy / OPS,
+            "p50": quantile(ordered, 0.50),
+            "p90": quantile(ordered, 0.90),
+            "p99": quantile(ordered, 0.99),
+        },
+        "cache_hit_ratio": (hits / (hits + misses)
+                            if hits + misses else None),
+        "compactions": counters.get("store.logstructured.compaction", 0),
+        "encode_batches": counters.get("store.coldstore.encode_batch", 0),
+        "store_counters": counters,
+        "health": cluster.health(),
+    }
+
+
+def run_experiment():
+    return {name: run_one(name, cfg) for name, cfg in CONFIGS.items()}
+
+
+def test_ablation_store_tiers(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for name in CONFIGS:
+        r = results[name]
+        hit = r["cache_hit_ratio"]
+        rows.append((name,
+                     f"{r['throughput_ops_per_s']:.0f}",
+                     f"{r['latency_s']['p50'] * 1e6:.0f}",
+                     f"{r['latency_s']['p99'] * 1e6:.0f}",
+                     "-" if hit is None else f"{hit:.2f}",
+                     r["health"]["status"]))
+    lines = table(["backend", "ops/sec", "p50 (us)", "p99 (us)",
+                   "cache hit", "health"], rows)
+    lines.append("")
+    lines.append("tiering story: memory is the ceiling, cold EC the "
+                 "floor, the write-back cache buys back the gap for "
+                 "the hot set")
+    emit("store_tiers", lines)
+    emit_json("store_tiers", {"configs": results})
+
+    thr = {n: results[n]["throughput_ops_per_s"] for n in CONFIGS}
+    # Memory is the ceiling for every persistent profile.
+    assert thr["memstore"] >= max(thr.values()) * 0.999
+    assert thr["memstore"] > thr["coldstore"]
+    # The cache tier recovers a real fraction of the cold-store gap.
+    assert thr["cached-cold"] > thr["coldstore"]
+    assert results["cached-cold"]["latency_s"]["p50"] < \
+        results["coldstore"]["latency_s"]["p50"]
+    # The hot set promotes and then hits.
+    assert results["cached-cold"]["cache_hit_ratio"] > 0.3
+    # Cold batches really were erasure-coded in the cold profiles.
+    assert results["coldstore"]["encode_batches"] > 0
+    assert results["cached-cold"]["encode_batches"] > 0
+    # No store health check fires at the end of any run.
+    for name in CONFIGS:
+        checks = results[name]["health"]["checks"]
+        assert "CACHE_TIER_FULL" not in checks
+        assert "COMPACTION_STALLED" not in checks

@@ -121,7 +121,8 @@ class MalacologyCluster:
         for pool_name, cfg in (pools or cls.DEFAULT_POOLS).items():
             proc = admin.do(admin.rados_create_pool(
                 pool_name, size=cfg.get("size", 2),
-                pg_num=cfg.get("pg_num", 32), ec=cfg.get("ec")))
+                pg_num=cfg.get("pg_num", 32), ec=cfg.get("ec"),
+                backend=cfg.get("backend"), cache=cfg.get("cache")))
             sim.run_until_complete(proc)
         mds_daemons = [MDS(sim, net, f"mds{i}", mon_names, rank=i)
                        for i in range(mdss)]
@@ -263,6 +264,16 @@ class MalacologyCluster:
         """
         return {d.name: d.admin_command("telemetry.dump")
                 for d in self.daemons()}
+
+    def store_status(self, pool: Optional[str] = None) -> Dict[str, Any]:
+        """``store.status`` across all OSDs, keyed by OSD name.
+
+        Out-of-band (admin socket): shows each hosted PG's backend
+        profile and occupancy, optionally filtered to one pool.
+        """
+        args = {"pool": pool} if pool is not None else None
+        return {o.name: o.admin_command("store.status", args)
+                for o in self.osds}
 
     def telemetry_reset(self) -> None:
         """Clear perf counters cluster-wide and drop collected traces."""

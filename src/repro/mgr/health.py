@@ -426,6 +426,90 @@ class ChangelogTrimStalledCheck(HealthCheck):
             writers=stalled, window=self.window)
 
 
+class CacheTierFullCheck(HealthCheck):
+    """A pool's cache tier is pinned over its capacity by dirty data.
+
+    The write-back tier may exceed ``capacity`` between flusher ticks
+    (dirty entries are never evicted), but a reading above the full
+    ratio at scrape time means write-back is not keeping up with the
+    ingest rate and every miss is landing in an already-full cache.
+    """
+
+    name = "CACHE_TIER_FULL"
+
+    def __init__(self, full_ratio: float = 1.0):
+        self.full_ratio = full_ratio
+
+    def evaluate(self, sample: ClusterSample
+                 ) -> Optional[HealthCheckResult]:
+        full: Dict[str, Dict[str, float]] = {}
+        for osd in sample.named("osd"):
+            gauges = sample.dumps.get(osd, {}).get("gauges", {})
+            util = gauges.get("store.cache.utilization")
+            if not isinstance(util, (int, float)):
+                continue  # hosts no cache tier (gauge is None)
+            if util > self.full_ratio:
+                dirty = gauges.get("store.cache.dirty")
+                full[osd] = {
+                    "utilization": float(util),
+                    "dirty": float(dirty)
+                    if isinstance(dirty, (int, float)) else 0.0,
+                }
+        if not full:
+            return None
+        return self.result(
+            HEALTH_WARN,
+            f"cache tier over capacity on {', '.join(sorted(full))}: "
+            f"dirty write-back is behind",
+            osds=full, full_ratio=self.full_ratio)
+
+
+class CompactionStalledCheck(HealthCheck):
+    """A log-structured store carries garbage but never compacts.
+
+    Fires when an OSD's worst eligible garbage ratio stays at or above
+    the compaction threshold for a whole window during which its
+    compaction counter did not move — the maintenance ticker is dead
+    or wedged and read amplification only grows.
+    """
+
+    name = "COMPACTION_STALLED"
+
+    def __init__(self, min_ratio: float = 0.5, window: float = 6.0,
+                 min_scrapes: int = 3):
+        self.min_ratio = min_ratio
+        self.window = window
+        self.min_scrapes = min_scrapes
+
+    def evaluate(self, sample: ClusterSample
+                 ) -> Optional[HealthCheckResult]:
+        stalled: Dict[str, float] = {}
+        for osd in sample.named("osd"):
+            series = sample.series.get(osd)
+            if series is None:
+                continue
+            garbage = series.maybe("gauge:store.log.garbage_ratio")
+            if garbage is None or len(garbage) < self.min_scrapes:
+                continue
+            floor = garbage.min_over(self.window)
+            if floor < self.min_ratio:
+                continue
+            compactions = series.maybe(
+                "counter:store.logstructured.compaction")
+            reclaimed = compactions.delta(self.window) \
+                if compactions else 0.0
+            if reclaimed <= 0:
+                stalled[osd] = floor
+        if not stalled:
+            return None
+        return self.result(
+            HEALTH_WARN,
+            f"log compaction stalled on {', '.join(sorted(stalled))}: "
+            f"garbage ratio >={self.min_ratio:.2f} for "
+            f"{self.window:.0f}s with no compactions",
+            osds=stalled, window=self.window)
+
+
 def default_checks() -> List[HealthCheck]:
     """The standard check set the mgr evaluates every scrape."""
     return [
@@ -438,6 +522,8 @@ def default_checks() -> List[HealthCheck]:
         SubtreeImbalanceCheck(),
         ChangelogConsumerLagCheck(),
         ChangelogTrimStalledCheck(),
+        CacheTierFullCheck(),
+        CompactionStalledCheck(),
     ]
 
 

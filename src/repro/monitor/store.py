@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import InvalidArgument, NotFound, NotPermitted
 from repro.monitor.cluster_log import ClusterLogEntry
 from repro.monitor.maps import MDSMap, MonMap, OSDMap
+from repro.store.base import normalize_backend, normalize_cache
 
 #: Service-metadata keys can carry a registered guard; see
 #: :meth:`MonitorStore.register_kv_guard`.
@@ -170,6 +171,19 @@ class MonitorStore:
                         raise InvalidArgument(f"bad EC profile {ec!r}")
                     cfg["ec"] = {"k": k, "m": em}
                     cfg["size"] = k + em  # acting set spans all shards
+                backend = act.get("backend")
+                cache = act.get("cache")
+                if ec is not None and (backend is not None
+                                       or cache is not None):
+                    # EC pools have their own shard path; a local
+                    # backend/cache tier would not see the shards.
+                    raise InvalidArgument(
+                        f"pool {act['name']!r}: 'ec' cannot be "
+                        "combined with 'backend' or 'cache'")
+                if backend is not None:
+                    cfg["backend"] = normalize_backend(backend)
+                if cache is not None:
+                    cfg["cache"] = normalize_cache(cache)
                 m.pools[act["name"]] = cfg
             elif what == "set_pool_pg_num":
                 self.get_map("osd").pool(act["name"])["pg_num"] = act["pg_num"]

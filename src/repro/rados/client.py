@@ -275,17 +275,31 @@ class RadosClient(MonitorClient):
     # ------------------------------------------------------------------
     def rados_create_pool(self: Any, name: str, size: int = 2,
                           pg_num: int = 64,
-                          ec: Optional[Dict[str, int]] = None) -> Generator:
+                          ec: Optional[Dict[str, int]] = None,
+                          backend: Optional[Any] = None,
+                          cache: Optional[Dict[str, Any]] = None
+                          ) -> Generator:
         """Create a pool; pass ``ec={"k": 2, "m": 1}`` for erasure coding.
 
         EC pools store any object's bytestream as k data + m parity
         shards (tolerating m lost shards) but — like Ceph's — do not
         support omap or object-class execution.
+
+        ``backend`` picks the pool's object-store profile
+        (``"memstore"`` default, ``"logstructured"``, or
+        ``{"profile": "coldstore", "k": 2, "m": 1}``); ``cache`` adds
+        a write-back cache tier (``{"capacity": 64,
+        "promote_reads": 2}``).  See :mod:`repro.store`.  ``ec`` and
+        ``backend``/``cache`` are mutually exclusive.
         """
         action = {"action": "create_pool", "name": name,
                   "size": size, "pg_num": pg_num}
         if ec is not None:
             action["ec"] = {"k": int(ec["k"]), "m": int(ec["m"])}
+        if backend is not None:
+            action["backend"] = backend
+        if cache is not None:
+            action["cache"] = cache
         yield from self.mon_submit([{
             "op": "map_update", "kind": "osd", "actions": [action]}])
         yield from self.mon_get_map("osd")

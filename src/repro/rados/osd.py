@@ -40,6 +40,8 @@ from repro.rados.placement import acting_set, pg_of
 from repro.sim.event import Timeout, gather
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
+from repro.store import CacheTier, LogStructuredStore, ObjectStore, \
+    make_store
 
 PgId = Tuple[str, int]  # (pool, pg)
 
@@ -56,6 +58,12 @@ class OSD(Daemon, MonitorClient):
     PING_INTERVAL = 1.0
     PING_TIMEOUT = 0.5
     SCRUB_INTERVAL = 30.0
+    #: Store-maintenance cadence (compaction, cache write-back).  The
+    #: ticker is lazy: it only starts once this OSD hosts a store with
+    #: ``needs_maintenance`` — pure-MemStore clusters schedule zero
+    #: extra events, which is what keeps pre-refactor schedules
+    #: byte-identical.
+    STORE_TICK_INTERVAL = 1.0
     REPOP_TIMEOUT = 1.0
     GOSSIP_FANOUT = 3
     #: Modelled cost of making a new interface version live (loading the
@@ -69,8 +77,12 @@ class OSD(Daemon, MonitorClient):
                  mon_names: List[str]):
         super().__init__(sim, network, name)
         self.init_mon_client(mon_names)
-        # "Disk": survives crash/restart.
-        self.pgs: Dict[PgId, Dict[str, StoredObject]] = {}
+        # "Disk": survives crash/restart.  One ObjectStore per PG,
+        # typed by the pool's backend/cache declaration (see
+        # ``repro.store``); default pools get MemStore, the
+        # pre-refactor semantics.
+        self.pgs: Dict[PgId, ObjectStore] = {}
+        self._store_ticker_started = False
         self.registry = ClassRegistry()
         register_all(self.registry)
         self._installed_versions: Dict[str, int] = {}
@@ -92,6 +104,18 @@ class OSD(Daemon, MonitorClient):
             lambda: sum(len(objs) for objs in self.pgs.values()))
         self.perf.gauge_fn("peers.reported_down",
                            lambda: len(self._reported_down))
+        # Store-tier gauges feed the CACHE_TIER_FULL and
+        # COMPACTION_STALLED health checks; None (skipped by the
+        # exporter and the checks) when this OSD hosts no such store.
+        self.perf.gauge_fn("store.cache.utilization",
+                           self._gauge_cache_utilization)
+        self.perf.gauge_fn("store.cache.dirty", self._gauge_cache_dirty)
+        self.perf.gauge_fn("store.log.garbage_ratio",
+                           self._gauge_log_garbage)
+        self.perf.gauge_fn("store.log.compactions",
+                           self._gauge_log_compactions)
+        self.register_admin_command("store.status",
+                                    self._admin_store_status)
 
         rh = self.register_handler
         #: (pool, oid) -> set of watcher client names (volatile; clients
@@ -134,6 +158,10 @@ class OSD(Daemon, MonitorClient):
                    name=f"{self.name}:ping")
         self.every(self.SCRUB_INTERVAL, self._scrub_tick,
                    name=f"{self.name}:scrub")
+        # After a restart the surviving "disk" may already hold stores
+        # with background duties (the ticker itself is volatile).
+        if any(s.needs_maintenance for s in self.pgs.values()):
+            self._ensure_store_ticker()
 
     @property
     def osdmap(self) -> Optional[OSDMap]:
@@ -186,6 +214,7 @@ class OSD(Daemon, MonitorClient):
     def _react_to_new_map(self, m: OSDMap) -> None:
         self._gossip_map(m)
         self._install_interfaces(m)
+        self._reconcile_store_types(m)
         self.spawn(self._rebalance_pgs(), name=f"{self.name}:rebalance")
 
     # ------------------------------------------------------------------
@@ -234,6 +263,133 @@ class OSD(Daemon, MonitorClient):
             self.interface_live_hook(name, entry["version"], self.sim.now)
 
     # ------------------------------------------------------------------
+    # Per-PG object stores (repro.store)
+    # ------------------------------------------------------------------
+    def _pg_store(self, pool: str, pgid: int) -> ObjectStore:
+        """The PG's store, created on first touch from the pool config."""
+        key = (pool, pgid)
+        store = self.pgs.get(key)
+        if store is None:
+            store = self._build_store(self._pool_cfg(pool))
+            self.pgs[key] = store
+            if store.needs_maintenance:
+                self._ensure_store_ticker()
+        return store
+
+    def _pool_cfg(self, pool: str) -> Dict[str, Any]:
+        m = self.osdmap
+        if m is None or pool not in m.pools:
+            # No map yet (e.g. a push raced our boot): default store;
+            # _reconcile_store_types migrates it once the map lands.
+            return {}
+        return m.pool(pool)
+
+    def _build_store(self, cfg: Dict[str, Any]) -> ObjectStore:
+        if "ec" in cfg:
+            # EC pools keep plain manifests locally; the shard path is
+            # its own subsystem and never combines with a backend.
+            return make_store(None, None, perf=self.perf)
+        return make_store(cfg.get("backend"), cfg.get("cache"),
+                          perf=self.perf)
+
+    @staticmethod
+    def _store_matches(store: ObjectStore, cfg: Dict[str, Any]) -> bool:
+        backend = None if "ec" in cfg else cfg.get("backend")
+        cache = None if "ec" in cfg else cfg.get("cache")
+        if isinstance(store, CacheTier) != (cache is not None):
+            return False
+        base = store.base if isinstance(store, CacheTier) else store
+        if backend is None:
+            want = "memstore"
+        elif isinstance(backend, str):
+            want = backend
+        else:
+            want = backend.get("profile", "memstore")
+        return base.profile == want
+
+    def _reconcile_store_types(self, m: OSDMap) -> None:
+        """Re-type any PG store that predates its pool's map entry.
+
+        Runs synchronously on map adoption (no events, no RNG): when a
+        push raced boot and a PG was materialized with the default
+        store, migrate its objects — sorted-oid order — into the
+        declared backend.  A no-op on every already-correct store.
+        """
+        for key in sorted(self.pgs):
+            pool, _pgid = key
+            if pool not in m.pools:
+                continue
+            cfg = m.pool(pool)
+            store = self.pgs[key]
+            if self._store_matches(store, cfg):
+                continue
+            replacement = self._build_store(cfg)
+            for oid in sorted(store):
+                replacement[oid] = store[oid]
+            self.pgs[key] = replacement
+            if replacement.needs_maintenance:
+                self._ensure_store_ticker()
+
+    def _ensure_store_ticker(self) -> None:
+        if self._store_ticker_started or not self.alive:
+            return
+        self._store_ticker_started = True
+        self.every(self.STORE_TICK_INTERVAL, self._store_tick,
+                   name=f"{self.name}:store")
+
+    def _store_tick(self) -> None:
+        for key in sorted(self.pgs):
+            store = self.pgs[key]
+            if store.needs_maintenance:
+                store.maintenance(self.sim.now)
+
+    def _admin_store_status(self, args: Any) -> Dict[str, Any]:
+        """``store.status``: per-PG backend status, optional pool filter."""
+        pool_filter = (args or {}).get("pool")
+        pgs = {}
+        for pool, pgid in sorted(self.pgs):
+            if pool_filter is not None and pool != pool_filter:
+                continue
+            pgs[f"{pool}/{pgid}"] = self.pgs[(pool, pgid)].status()
+        return {
+            "name": self.name,
+            "pgs": pgs,
+            "profiles": sorted({s["profile"] for s in pgs.values()}),
+        }
+
+    # -- health-check gauges -------------------------------------------
+    def _cache_tiers(self) -> List[CacheTier]:
+        return [s for _, s in sorted(self.pgs.items())
+                if isinstance(s, CacheTier)]
+
+    def _log_stores(self) -> List[LogStructuredStore]:
+        out = []
+        for _, s in sorted(self.pgs.items()):
+            if isinstance(s, CacheTier):
+                s = s.base
+            if isinstance(s, LogStructuredStore):
+                out.append(s)
+        return out
+
+    def _gauge_cache_utilization(self) -> Optional[float]:
+        tiers = self._cache_tiers()
+        return max(t.utilization() for t in tiers) if tiers else None
+
+    def _gauge_cache_dirty(self) -> Optional[int]:
+        tiers = self._cache_tiers()
+        return sum(t.dirty_count() for t in tiers) if tiers else None
+
+    def _gauge_log_garbage(self) -> Optional[float]:
+        stores = self._log_stores()
+        if not stores:
+            return None
+        return max(s.eligible_garbage_ratio() for s in stores)
+
+    def _gauge_log_compactions(self) -> Optional[int]:
+        stores = self._log_stores()
+        return sum(s.compactions for s in stores) if stores else None
+
+    # ------------------------------------------------------------------
     # Client I/O path
     # ------------------------------------------------------------------
     def _h_osd_op(self, src: str, payload: Dict[str, Any]) -> Generator:
@@ -266,8 +422,12 @@ class OSD(Daemon, MonitorClient):
             result = yield from self._ec_op(pool, pgid, oid, ops,
                                             acting, m.pool(pool)["ec"])
             return result
-        pg = self.pgs.setdefault((pool, pgid), {})
-        obj = pg.get(oid)
+        store = self._pg_store(pool, pgid)
+        obj, read_delay = store.fetch(oid)
+        if read_delay > 0:
+            # Modeled media service time; MemStore charges 0.0, so
+            # default pools add no events here (schedule identity).
+            yield Timeout(read_delay)
         results, new_obj, removed = apply_ops(
             obj, oid, ops, self.registry,
             epoch=payload.get("epoch"), now=self.sim.now)
@@ -281,10 +441,12 @@ class OSD(Daemon, MonitorClient):
                        and (obj is None or new_obj.version != obj.version)))
         if mutated:
             if removed:
-                pg.pop(oid, None)
+                write_delay = store.discard(oid)
             else:
                 assert new_obj is not None
-                pg[oid] = new_obj
+                write_delay = store.commit(new_obj)
+            if write_delay > 0:
+                yield Timeout(write_delay)
             if (self.changelog is not None
                     and pool not in CHANGELOG_EXCLUDED_POOLS):
                 self.changelog.emit("object_write", src, pool=pool,
@@ -317,7 +479,7 @@ class OSD(Daemon, MonitorClient):
             except NotPrimary:
                 pass  # replica has a newer map; rebalance will fix us
 
-    def _h_repop(self, src: str, payload: Dict[str, Any]) -> bool:
+    def _h_repop(self, src: str, payload: Dict[str, Any]) -> Any:
         m = self.osdmap
         pool, pgid = payload["pool"], payload["pg"]
         if m is not None:
@@ -327,11 +489,20 @@ class OSD(Daemon, MonitorClient):
                     f"{src} is not primary for {pool}/{pgid} by "
                     f"epoch {m.epoch}")
         self.perf.incr("repop.rx")
-        pg = self.pgs.setdefault((pool, pgid), {})
+        store = self._pg_store(pool, pgid)
         if payload["removed"]:
-            pg.pop(payload["oid"], None)
+            delay = store.discard(payload["oid"])
         else:
-            pg[payload["oid"]] = StoredObject.from_dict(payload["state"])
+            delay = store.commit(
+                StoredObject.from_dict(payload["state"]))
+        if delay > 0:
+            # Non-default backends charge their write cost before the
+            # ack; MemStore returns 0.0 and the reply stays synchronous.
+            return self._ack_after(delay)
+        return True
+
+    def _ack_after(self, delay: float) -> Generator:
+        yield Timeout(delay)
         return True
 
     # ------------------------------------------------------------------
@@ -391,12 +562,11 @@ class OSD(Daemon, MonitorClient):
             for oid in list(objects):
                 new_pg = pg_of(oid, pg_num)
                 if new_pg != pgid:
-                    self.pgs.setdefault((pool, new_pg), {})[oid] = \
-                        objects.pop(oid)
+                    self._pg_store(pool, new_pg)[oid] = objects.pop(oid)
 
     def _h_pg_push(self, src: str, payload: Dict[str, Any]) -> bool:
         self.perf.incr("recovery.rx")
-        pg = self.pgs.setdefault((payload["pool"], payload["pg"]), {})
+        pg = self._pg_store(payload["pool"], payload["pg"])
         force = payload.get("force", False)
         for oid, state in payload["objects"].items():
             incoming = StoredObject.from_dict(state)
@@ -426,7 +596,7 @@ class OSD(Daemon, MonitorClient):
                     f"EC pool {pool!r} does not support op "
                     f"{op.get('op')!r} (bytestream only)")
         codec = ErasureCodec(profile["k"], profile["m"])
-        pg = self.pgs.setdefault((pool, pgid), {})
+        pg = self._pg_store(pool, pgid)
         manifest = pg.get(oid)
         base: Optional[StoredObject] = None
         if manifest is not None:
@@ -668,6 +838,7 @@ class OSD(Daemon, MonitorClient):
         super().on_crash()  # telemetry is volatile
         # pgs (disk) survive; everything else is volatile.
         self.booted = False
+        self._store_ticker_started = False  # ticker proc died with us
         self.watchers = {}
         self._reported_down = set()
         self.cached_maps.pop("osd", None)

@@ -1,0 +1,201 @@
+"""CacheTier: a write-back cache wrapped around any base backend.
+
+The client-op plane hits the cache first: commits land in the cache
+dirty (write-back — the base store is not touched until the flusher
+tick), reads of resident objects are near-free, and repeated reads of
+a base-resident object promote it once they cross the pool's
+``promote_reads`` threshold.  The OSD's jitter-free store ticker
+drives :meth:`maintenance`, which writes dirty entries back to the
+base (sorted-oid order) and then evicts **clean** entries down to
+``capacity`` in LRU order.
+
+Invariants (pinned by property tests):
+
+* a dirty entry is never evicted — write-back always happens first,
+  so the cache may exceed ``capacity`` between ticks (the
+  ``CACHE_TIER_FULL`` health check fires when it stays that way);
+* recency is a logical access counter, not sim time, so two identical
+  runs make identical promotion/eviction decisions.
+
+The zero-cost ``MutableMapping`` plane (recovery, rebalance, scrub,
+tests) is a union view with the cache shadowing the base.  Writes on
+that plane go straight through to the base and invalidate any cached
+entry: recovery pushes and scrub repairs install authoritative
+versions, so the stale (possibly dirty) copy is superseded, not
+evicted.  That plane never touches LRU state — background repair
+cannot perturb caching decisions.
+
+Durability: the tier lives inside the OSD's PG map, which models the
+disk — dirty entries survive crash/restart exactly like base objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.rados.objects import StoredObject
+from repro.store.base import ObjectStore
+
+
+class CacheEntry:
+    """One resident object: payload + dirty bit + logical recency."""
+
+    __slots__ = ("obj", "dirty", "last_use")
+
+    def __init__(self, obj: StoredObject, dirty: bool, last_use: int):
+        self.obj = obj
+        self.dirty = dirty
+        self.last_use = last_use
+
+
+class CacheTier(ObjectStore):
+    """Write-back LRU cache in front of a base :class:`ObjectStore`."""
+
+    __slots__ = ("base", "capacity", "promote_reads", "_entries",
+                 "_read_counts", "_clock")
+
+    profile = "cache"
+    needs_maintenance = True
+
+    #: Modeled service delays (simulated seconds).
+    HIT_DELAY = 5e-6
+    MISS_DELAY = 20e-6   # added on top of the base store's delay
+    WRITE_DELAY = 10e-6
+
+    def __init__(self, base: ObjectStore, capacity: int = 64,
+                 promote_reads: int = 2, perf: Optional[Any] = None):
+        super().__init__(perf)
+        self.base = base
+        self.capacity = capacity
+        self.promote_reads = promote_reads
+        self._entries: Dict[str, CacheEntry] = {}
+        self._read_counts: Dict[str, int] = {}
+        self._clock = 0
+
+    # -- internals ------------------------------------------------------
+    def _tick_clock(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _evict_clean(self) -> None:
+        """Evict clean entries (LRU first) until within capacity."""
+        if len(self._entries) <= self.capacity:
+            return
+        clean = sorted(
+            (e.last_use, oid) for oid, e in self._entries.items()
+            if not e.dirty)
+        for _, oid in clean:
+            if len(self._entries) <= self.capacity:
+                break
+            del self._entries[oid]
+            self.incr("evict")
+
+    def utilization(self) -> float:
+        return len(self._entries) / self.capacity
+
+    def dirty_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.dirty)
+
+    # -- MutableMapping (zero-cost plane; never touches LRU state) ------
+    def __getitem__(self, oid: str) -> StoredObject:
+        entry = self._entries.get(oid)
+        if entry is not None:
+            return entry.obj
+        return self.base[oid]  # KeyError when absent
+
+    def __setitem__(self, oid: str, obj: StoredObject) -> None:
+        # Authoritative install (recovery push, scrub repair): write
+        # through to the base and drop any superseded cached copy.
+        self.base[oid] = obj
+        self._entries.pop(oid, None)
+        self._read_counts.pop(oid, None)
+
+    def __delitem__(self, oid: str) -> None:
+        found = self._entries.pop(oid, None) is not None
+        self._read_counts.pop(oid, None)
+        try:
+            del self.base[oid]
+        except KeyError:
+            if not found:
+                raise
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(set(self._entries) | set(self.base)))
+
+    def __len__(self) -> int:
+        return len(set(self._entries) | set(self.base))
+
+    # -- client-op plane ------------------------------------------------
+    def fetch(self, oid: str) -> Tuple[Optional[StoredObject], float]:
+        clock = self._tick_clock()
+        entry = self._entries.get(oid)
+        if entry is not None:
+            entry.last_use = clock
+            self.incr("hit")
+            return entry.obj, self.HIT_DELAY
+        obj, base_delay = self.base.fetch(oid)
+        self.incr("miss")
+        if obj is not None:
+            reads = self._read_counts.get(oid, 0) + 1
+            if reads >= self.promote_reads:
+                self._read_counts.pop(oid, None)
+                self._entries[oid] = CacheEntry(obj, False, clock)
+                self.incr("promote")
+                self._evict_clean()
+            else:
+                self._read_counts[oid] = reads
+        return obj, base_delay + self.MISS_DELAY
+
+    def commit(self, obj: StoredObject) -> float:
+        clock = self._tick_clock()
+        entry = self._entries.get(obj.oid)
+        if entry is not None:
+            entry.obj = obj
+            entry.dirty = True
+            entry.last_use = clock
+        else:
+            self._entries[obj.oid] = CacheEntry(obj, True, clock)
+            self._read_counts.pop(obj.oid, None)
+        self.incr("write")
+        self._evict_clean()
+        return self.WRITE_DELAY
+
+    def discard(self, oid: str) -> float:
+        self._entries.pop(oid, None)
+        self._read_counts.pop(oid, None)
+        base_delay = self.base.discard(oid)
+        return self.WRITE_DELAY + base_delay
+
+    # -- maintenance ----------------------------------------------------
+    def maintenance(self, now: float) -> None:
+        self._write_back()
+        self._evict_clean()
+        self.base.maintenance(now)
+
+    def flush(self, now: float) -> None:
+        self._write_back()
+        self._evict_clean()
+        self.base.flush(now)
+
+    def _write_back(self) -> None:
+        dirty = [oid for oid in sorted(self._entries)
+                 if self._entries[oid].dirty]
+        for oid in dirty:
+            entry = self._entries[oid]
+            self.base.commit(entry.obj)
+            entry.dirty = False
+            self.incr("writeback")
+        if dirty:
+            self.incr("flush")
+
+    # -- introspection --------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "objects": len(self),
+            "capacity": self.capacity,
+            "resident": len(self._entries),
+            "dirty": self.dirty_count(),
+            "utilization": self.utilization(),
+            "base": self.base.status(),
+        }

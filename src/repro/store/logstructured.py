@@ -1,0 +1,167 @@
+"""Log-structured backend: append-only segments + index + compaction.
+
+Writes never update in place: every commit appends a record to the
+active segment and repoints the object index, leaving the previous
+record as garbage.  That makes the write path cheap and sequential —
+the right shape for ZLog entries and changelog shards, whose workload
+is almost pure append — at the price of a slightly dearer read (index
+hop + record load) and background compaction debt.
+
+Compaction is deterministic and tick-driven: the OSD's jitter-free
+store ticker calls :meth:`maintenance`, and when the dead-record ratio
+crosses ``COMPACT_RATIO`` the store rewrites live records (in sorted
+oid order) into fresh segments in one synchronous step.  No RNG, no
+wall clock, no events of its own — two identical runs compact at the
+identical sim-time ticks.
+
+The ``COMPACTION_STALLED`` mgr health check watches the garbage-ratio
+gauge against the compaction counter to catch a store that accumulates
+debt without ever reclaiming it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.rados.objects import StoredObject
+from repro.store.base import ObjectStore
+
+
+class LogRecord:
+    """One appended object version inside a segment."""
+
+    __slots__ = ("oid", "version", "obj")
+
+    def __init__(self, oid: str, version: int, obj: StoredObject):
+        self.oid = oid
+        self.version = version
+        self.obj = obj
+
+
+class LogStructuredStore(ObjectStore):
+    """Append-only segments with an oid index and tick compaction."""
+
+    __slots__ = ("_segments", "_active", "_index", "_garbage",
+                 "_records", "compactions", "last_compaction")
+
+    profile = "logstructured"
+    needs_maintenance = True
+
+    #: Records per segment before the active segment is sealed.
+    SEGMENT_RECORDS = 64
+    #: Dead-record fraction that triggers compaction on the next tick.
+    COMPACT_RATIO = 0.5
+    #: Minimum record count before compaction is worth running.
+    COMPACT_MIN_RECORDS = 32
+    #: Modeled service delays (simulated seconds): appends are
+    #: sequential and cheap; reads pay an index hop + record load.
+    WRITE_DELAY = 15e-6
+    READ_DELAY = 40e-6
+
+    def __init__(self, perf: Optional[Any] = None):
+        super().__init__(perf)
+        self._segments: List[List[LogRecord]] = []
+        self._active: List[LogRecord] = []
+        self._index: Dict[str, LogRecord] = {}
+        self._garbage = 0
+        self._records = 0
+        self.compactions = 0
+        self.last_compaction = 0.0
+
+    # -- internals ------------------------------------------------------
+    def _append_record(self, obj: StoredObject) -> None:
+        old = self._index.get(obj.oid)
+        if old is not None:
+            self._garbage += 1
+        record = LogRecord(obj.oid, obj.version, obj)
+        self._active.append(record)
+        self._records += 1
+        self._index[obj.oid] = record
+        if len(self._active) >= self.SEGMENT_RECORDS:
+            self._segments.append(self._active)
+            self._active = []
+
+    def garbage_ratio(self) -> float:
+        return self._garbage / self._records if self._records else 0.0
+
+    def eligible_garbage_ratio(self) -> float:
+        """Garbage ratio, but 0.0 below the compaction size floor.
+
+        Feeds the ``store.log.garbage_ratio`` gauge: a tiny store may
+        sit above ``COMPACT_RATIO`` forever by design (compaction is
+        not worth running), and the ``COMPACTION_STALLED`` check must
+        not read that as debt.
+        """
+        if self._records < self.COMPACT_MIN_RECORDS:
+            return 0.0
+        return self.garbage_ratio()
+
+    # -- MutableMapping -------------------------------------------------
+    def __getitem__(self, oid: str) -> StoredObject:
+        return self._index[oid].obj
+
+    def __setitem__(self, oid: str, obj: StoredObject) -> None:
+        self._append_record(obj)
+
+    def __delitem__(self, oid: str) -> None:
+        del self._index[oid]  # raises KeyError when absent
+        self._garbage += 1    # the dead record stays until compaction
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._index))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- client-op plane ------------------------------------------------
+    def fetch(self, oid: str) -> Tuple[Optional[StoredObject], float]:
+        record = self._index.get(oid)
+        self.incr("read")
+        if record is None:
+            return None, self.READ_DELAY
+        return record.obj, self.READ_DELAY
+
+    def commit(self, obj: StoredObject) -> float:
+        self._append_record(obj)
+        self.incr("append")
+        return self.WRITE_DELAY
+
+    def discard(self, oid: str) -> float:
+        self.pop(oid, None)
+        return self.WRITE_DELAY
+
+    # -- maintenance ----------------------------------------------------
+    def maintenance(self, now: float) -> None:
+        if (self._records >= self.COMPACT_MIN_RECORDS
+                and self.garbage_ratio() >= self.COMPACT_RATIO):
+            self._compact(now)
+
+    def flush(self, now: float) -> None:
+        if self._garbage:
+            self._compact(now)
+
+    def _compact(self, now: float) -> None:
+        """Rewrite live records into fresh segments; drop the garbage."""
+        self._segments = []
+        self._active = []
+        self._records = 0
+        self._garbage = 0
+        for oid in sorted(self._index):
+            self._append_record(self._index[oid].obj)
+        # Rewriting live records into the fresh log marked each one
+        # "overwritten" once; they are live, not garbage.
+        self._garbage = 0
+        self.compactions += 1
+        self.last_compaction = now
+        self.incr("compaction")
+
+    # -- introspection --------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        out = super().status()
+        out.update({
+            "segments": len(self._segments) + (1 if self._active else 0),
+            "records": self._records,
+            "garbage_ratio": self.garbage_ratio(),
+            "compactions": self.compactions,
+        })
+        return out

@@ -1,0 +1,57 @@
+"""MemStore: the in-memory fast tier (the pre-refactor semantics).
+
+A thin shell around one dict, preserving exactly what the OSD's
+implicit PG storage did before the backend refactor: insertion-order
+iteration, live object references, and **zero modeled delay** on every
+path — so default pools schedule no extra simulator events and the
+pre-refactor schedules replay byte-identically (pinned by a tape
+test).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.rados.objects import StoredObject
+from repro.store.base import ObjectStore
+
+
+class MemStore(ObjectStore):
+    """Flat in-memory object map; the default backend profile."""
+
+    __slots__ = ("_objects",)
+
+    profile = "memstore"
+    needs_maintenance = False
+
+    def __init__(self, perf: Optional[Any] = None):
+        super().__init__(perf)
+        self._objects: Dict[str, StoredObject] = {}
+
+    # -- MutableMapping -------------------------------------------------
+    def __getitem__(self, oid: str) -> StoredObject:
+        return self._objects[oid]
+
+    def __setitem__(self, oid: str, obj: StoredObject) -> None:
+        self._objects[oid] = obj
+
+    def __delitem__(self, oid: str) -> None:
+        del self._objects[oid]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- client-op plane ------------------------------------------------
+    def fetch(self, oid: str) -> Tuple[Optional[StoredObject], float]:
+        return self._objects.get(oid), 0.0
+
+    def commit(self, obj: StoredObject) -> float:
+        self._objects[obj.oid] = obj
+        return 0.0
+
+    def discard(self, oid: str) -> float:
+        self._objects.pop(oid, None)
+        return 0.0

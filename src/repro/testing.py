@@ -80,7 +80,9 @@ def build_rados_cluster(
     client = RadosScriptClient(sim, net, "admin", mon_names)
     for name, cfg in (pools or {"data": {"size": 2, "pg_num": 32}}).items():
         run_script(sim, client, client.rados_create_pool(
-            name, size=cfg.get("size", 2), pg_num=cfg.get("pg_num", 32)))
+            name, size=cfg.get("size", 2), pg_num=cfg.get("pg_num", 32),
+            ec=cfg.get("ec"), backend=cfg.get("backend"),
+            cache=cfg.get("cache")))
     sim.run(until=sim.now + 2.0)  # let the pool map gossip out
     return RadosCluster(sim=sim, net=net, mons=mons, osds=osds,
                         admin=client)

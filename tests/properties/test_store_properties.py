@@ -1,0 +1,173 @@
+"""Property tests: store backends against a model, cache invariants.
+
+Each backend must behave like one ``oid -> StoredObject`` mapping no
+matter how operations interleave with maintenance ticks, and the cache
+tier must never lose a dirty object to eviction.  Determinism is the
+other pillar: the same op sequence replayed on a fresh store makes
+byte-identical decisions (the simulator's schedule identity depends on
+it).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rados.objects import StoredObject
+from repro.store import CacheTier, ColdStore, LogStructuredStore, \
+    MemStore, make_store
+
+# One op: (kind, oid-index, payload-byte).  Small oid space forces
+# overwrites, evictions, and garbage; maintenance ticks interleave.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["commit", "fetch", "discard", "maintenance"]),
+        st.integers(0, 7),
+        st.integers(0, 255),
+    ),
+    min_size=1, max_size=80)
+
+backends = st.sampled_from(
+    ["memstore", "logstructured", "coldstore", "cached"])
+
+
+def build_store(kind):
+    if kind == "cached":
+        return make_store("coldstore", cache={"capacity": 3,
+                                              "promote_reads": 1})
+    return make_store(kind)
+
+
+def make_obj(oid, payload, version):
+    o = StoredObject(oid)
+    o.data = bytearray(bytes([payload]) * (payload % 17 + 1))
+    o.version = version
+    return o
+
+
+def run_ops(store, ops):
+    """Drive the costed plane; returns (model, trace) for comparison."""
+    model = {}
+    trace = []
+    clock = 0.0
+    version = 0
+    for kind, idx, payload in ops:
+        oid = f"o{idx}"
+        clock += 1.0
+        if kind == "commit":
+            version += 1
+            store.commit(make_obj(oid, payload, version))
+            model[oid] = (bytes([payload]) * (payload % 17 + 1), version)
+            trace.append(("commit", oid, version))
+        elif kind == "fetch":
+            got, delay = store.fetch(oid)
+            state = (None if got is None
+                     else (bytes(got.data), got.version))
+            trace.append(("fetch", oid, state, delay))
+        elif kind == "discard":
+            store.discard(oid)
+            model.pop(oid, None)
+            trace.append(("discard", oid))
+        else:
+            store.maintenance(clock)
+            trace.append(("maintenance", clock))
+    return model, trace
+
+
+@given(backends, ops_strategy)
+@settings(max_examples=120, deadline=None)
+def test_every_backend_matches_the_mapping_model(kind, ops):
+    store = build_store(kind)
+    model, _ = run_ops(store, ops)
+    assert sorted(store) == sorted(model)
+    for oid, (data, version) in model.items():
+        got = store[oid]
+        assert bytes(got.data) == data
+        assert got.version == version
+
+
+@given(backends, ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_identical_runs_make_identical_decisions(kind, ops):
+    _, trace_a = run_ops(build_store(kind), ops)
+    _, trace_b = run_ops(build_store(kind), ops)
+    assert trace_a == trace_b
+
+
+@given(ops_strategy)
+@settings(max_examples=120, deadline=None)
+def test_cache_dirty_entries_survive_until_written_back(ops):
+    base = MemStore()
+    tier = CacheTier(base, capacity=2, promote_reads=1)
+    model = {}
+    clock = 0.0
+    version = 0
+    for kind, idx, payload in ops:
+        oid = f"o{idx}"
+        clock += 1.0
+        if kind == "commit":
+            version += 1
+            tier.commit(make_obj(oid, payload, version))
+            model[oid] = version
+        elif kind == "fetch":
+            tier.fetch(oid)
+        elif kind == "discard":
+            tier.discard(oid)
+            model.pop(oid, None)
+        else:
+            tier.maintenance(clock)
+        # The invariant, checked after *every* op: a committed object
+        # is always reachable at its latest version — eviction of a
+        # dirty (not yet written back) entry would break this.
+        for m_oid, m_version in model.items():
+            assert tier[m_oid].version == m_version
+        # And eviction really only removes clean entries: anything not
+        # resident must already be durable in the base store.
+        for m_oid, m_version in model.items():
+            if m_oid not in tier._entries:
+                assert base[m_oid].version == m_version
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cache_respects_capacity_once_clean(ops):
+    tier = CacheTier(MemStore(), capacity=2, promote_reads=1)
+    clock = 0.0
+    version = 0
+    for kind, idx, payload in ops:
+        clock += 1.0
+        if kind == "commit":
+            version += 1
+            tier.commit(make_obj(f"o{idx}", payload, version))
+        elif kind == "fetch":
+            tier.fetch(f"o{idx}")
+        elif kind == "discard":
+            tier.discard(f"o{idx}")
+        else:
+            tier.maintenance(clock)
+            # A maintenance pass writes everything back, so clean
+            # eviction can always reach the capacity target.
+            assert tier.dirty_count() == 0
+            assert len(tier._entries) <= tier.capacity
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_logstructured_compaction_preserves_live_set(ops):
+    store = LogStructuredStore()
+    model, _ = run_ops(store, ops)
+    store.flush(now=1e6)  # force a final compaction
+    assert store.garbage_ratio() == 0.0
+    assert sorted(store) == sorted(model)
+    for oid, (data, ver) in model.items():
+        assert (bytes(store[oid].data), store[oid].version) == (data, ver)
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_coldstore_roundtrips_through_encode_cycles(ops):
+    store = ColdStore(k=3, m=2)
+    model, _ = run_ops(store, ops)
+    store.flush(now=1e6)
+    assert store.staged_count() == 0
+    for oid, (data, ver) in model.items():
+        got, delay = store.fetch(oid)
+        assert delay == store.COLD_READ_DELAY
+        assert (bytes(got.data), got.version) == (data, ver)
