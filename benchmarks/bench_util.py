@@ -12,9 +12,34 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Version of the results-JSON envelope.  Bump when the meaning or
+#: layout of the stamped fields changes, so trajectory tooling (and
+#: the ``BENCH_kernel.json`` staleness gate) can refuse to compare
+#: incomparable documents.
+RESULTS_SCHEMA_VERSION = 1
+
+
+def git_sha() -> str:
+    """The repo HEAD commit, or ``"unknown"`` outside a git checkout.
+
+    Stamped into every results JSON so a perf number is always tied to
+    the code that produced it — the point of tracking a baseline.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, cwd=REPO_ROOT, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
 
 
 def emit(name: str, lines: Iterable[str]) -> str:
@@ -30,19 +55,27 @@ def emit(name: str, lines: Iterable[str]) -> str:
 
 
 def emit_json(name: str, payload: Dict[str, Any],
-              cluster: Optional[Any] = None) -> str:
+              cluster: Optional[Any] = None,
+              path: Optional[str] = None) -> str:
     """Persist a machine-readable result under ``results/<name>.json``.
 
     ``payload`` carries the benchmark's own summary (throughput,
     latency, whatever the figure measures).  When a cluster is passed,
     its end-of-run health report is appended — out-of-band, so the
-    measured run is unchanged.
+    measured run is unchanged.  Every document is stamped with the
+    results schema version and the git SHA it was produced at, so perf
+    trajectories are comparable across PRs.  ``path`` overrides the
+    destination (``BENCH_kernel.json`` lives at the repo root).
     """
-    doc = {"benchmark": name, **payload}
+    doc = {"benchmark": name,
+           "schema_version": RESULTS_SCHEMA_VERSION,
+           "git_sha": git_sha(),
+           **payload}
     if cluster is not None:
         doc["cluster_health"] = _cluster_health(cluster)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    if path is None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True, default=str)
         fh.write("\n")

@@ -1,0 +1,90 @@
+"""CI gate: the tracked ``BENCH_kernel.json`` baseline must exist and
+be fresh.
+
+Fails (exit 1) when the repo-root ``BENCH_kernel.json``:
+
+* is missing — the kernel throughput benchmark was never run, so
+  there is no perf trajectory to compare against;
+* carries a different results schema version than this checkout's
+  ``bench_util`` — the numbers are not comparable;
+* is missing any of the required metrics;
+* is **stale** — its stamped ``git_sha`` is not an ancestor of the
+  current HEAD (the baseline was generated on some other line of
+  history, or never regenerated after a rebase).
+
+Usage: ``python benchmarks/check_bench_baseline.py`` (from anywhere
+inside the repo).  CI runs it before regenerating the baseline, so a
+PR that forgets to refresh ``BENCH_kernel.json`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from bench_util import REPO_ROOT, RESULTS_SCHEMA_VERSION
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+REQUIRED_KEYS = (
+    "events", "events_per_sec", "wall_seconds", "sim_seconds",
+    "peak_rss_bytes", "git_sha", "schema_version",
+)
+
+
+def fail(message: str) -> int:
+    print(f"BENCH_kernel.json baseline check FAILED: {message}")
+    return 1
+
+
+def check() -> int:
+    if not os.path.exists(BENCH_PATH):
+        return fail(f"missing {BENCH_PATH}; run "
+                    "`python -m pytest benchmarks/test_kernel_throughput.py`")
+    with open(BENCH_PATH) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            return fail(f"unparsable JSON: {exc}")
+    missing = [k for k in REQUIRED_KEYS if k not in doc]
+    if missing:
+        return fail(f"missing required keys {missing}")
+    if doc["schema_version"] != RESULTS_SCHEMA_VERSION:
+        return fail(
+            f"schema version {doc['schema_version']} != current "
+            f"{RESULTS_SCHEMA_VERSION}; regenerate the baseline")
+    if doc["events_per_sec"] <= 0 or doc["wall_seconds"] <= 0:
+        return fail("non-positive throughput metrics; corrupt baseline")
+    sha = doc["git_sha"]
+    if sha == "unknown":
+        return fail("baseline carries git_sha 'unknown'; regenerate "
+                    "from inside the git checkout")
+    try:
+        proc = subprocess.run(
+            ["git", "merge-base", "--is-ancestor", sha, "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.SubprocessError) as exc:
+        print(f"note: ancestry check skipped (git unavailable: {exc})")
+        proc = None
+    if proc is not None and proc.returncode != 0:
+        if "not a git repository" in proc.stderr.lower():
+            print("note: ancestry check skipped (not a git checkout)")
+        elif "bad revision" in proc.stderr.lower() \
+                or "bad object" in proc.stderr.lower():
+            # Shallow clones cannot resolve old SHAs; checkout with
+            # fetch-depth: 0 (the CI job does) for the full check.
+            print(f"note: ancestry check inconclusive for {sha[:12]} "
+                  "(shallow clone?)")
+        else:
+            return fail(
+                f"stale baseline: git_sha {sha[:12]} is not an "
+                "ancestor of HEAD; regenerate BENCH_kernel.json")
+    print(f"BENCH_kernel.json OK: schema v{doc['schema_version']}, "
+          f"{doc['events_per_sec']:.0f} events/sec at {sha[:12]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())

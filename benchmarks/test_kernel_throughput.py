@@ -1,0 +1,104 @@
+"""Kernel throughput baseline: the tracked ``BENCH_kernel.json``.
+
+Not a paper figure — the measurement substrate for ROADMAP item 1
+("make the simulator kernel fast enough for million-client runs").
+Runs the canonical fig6 configuration (two clients contending on the
+sequencer, quota 1000, 30 simulated seconds) under the profiler and
+records what the *host* paid for it: kernel events per wall-clock
+second, wall time, peak RSS, and the top hot spots across the
+heapq + generator trampoline.
+
+The result is written to the repo-root ``BENCH_kernel.json`` (stamped
+with schema version and git SHA by ``bench_util.emit_json``) and
+regenerated every PR, so the perf trajectory of the kernel speed push
+is tracked, not anecdotal.  Asserts are floors loose enough to pass on
+any CI host; the numbers themselves are the deliverable.
+"""
+
+import os
+
+from bench_util import REPO_ROOT, emit, emit_json, table
+
+from repro.core import MalacologyCluster
+from repro.profiling import host_perf_ns, peak_rss_bytes
+from repro.workloads import LeaseContentionWorkload
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+#: The canonical fig6 point: mid-sweep quota, two contending clients.
+DURATION = 30.0
+QUOTA = 1000
+CLIENTS = 2
+SEED = 62
+
+
+def run_canonical():
+    """Boot, run the canonical workload, read the profiler planes."""
+    t0 = host_perf_ns()
+    cluster = MalacologyCluster.build(osds=3, mdss=1, seed=SEED,
+                                      profile=True)
+    boot_ns = host_perf_ns() - t0
+    workload = LeaseContentionWorkload(cluster, clients=CLIENTS)
+    workload.setup("quota", quota=QUOTA, max_hold=0.25)
+    t1 = host_perf_ns()
+    workload.start()
+    cluster.run(DURATION)
+    workload.stop()
+    run_ns = host_perf_ns() - t1
+    profiler = cluster.sim.profiler
+    wall = cluster.sim.wall_profiler
+    tracker = [c.perf.latency("seq.next") for c in workload.clients]
+    ops = sum(t.count for t in tracker)
+    return {
+        "config": {"figure": "fig6", "quota": QUOTA,
+                   "clients": CLIENTS, "duration_sim": DURATION,
+                   "seed": SEED, "osds": 3, "mdss": 1},
+        "events": profiler.events_dispatched,
+        "events_cancelled": profiler.events_cancelled,
+        "wall_seconds": run_ns / 1e9,
+        "boot_seconds": boot_ns / 1e9,
+        "events_per_sec": profiler.events_dispatched / (run_ns / 1e9),
+        "sim_seconds": cluster.sim.now,
+        "sim_wall_ratio": cluster.sim.now / (run_ns / 1e9),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "queue_hwm": profiler.queue_hwm,
+        "ready_hwm": profiler.ready_hwm,
+        "workload_ops": ops,
+        "top_hotspots_wall": wall.hotspots(8),
+        "top_handlers_sim": profiler.top_handlers(8, by="sim_time"),
+        "health": cluster.health(),
+    }
+
+
+def test_kernel_throughput():
+    result = run_canonical()
+    rows = [
+        ("events dispatched", f"{result['events']}"),
+        ("events/sec (wall)", f"{result['events_per_sec']:.0f}"),
+        ("wall seconds", f"{result['wall_seconds']:.3f}"),
+        ("sim/wall speedup", f"{result['sim_wall_ratio']:.1f}x"),
+        ("peak RSS (MiB)", f"{result['peak_rss_bytes'] / 2**20:.1f}"),
+        ("queue high-water", f"{result['queue_hwm']}"),
+        ("ready-batch high-water", f"{result['ready_hwm']}"),
+    ]
+    lines = table(["metric", "value"], rows)
+    lines.append("")
+    lines.append("top wall hotspots: " + ", ".join(
+        f"{h['kind']}:{h['name']}" for h in
+        result["top_hotspots_wall"][:3]))
+    emit("kernel_throughput", lines)
+    # The tracked baseline at the repo root, plus the usual results/
+    # copy so artifact uploads collect it with the other benchmarks.
+    emit_json("kernel_throughput", result, path=BENCH_PATH)
+    emit_json("kernel_throughput", result)
+
+    # Floors, not targets: the benchmark must have actually measured a
+    # real run on any host, however slow.
+    assert result["events"] > 10_000
+    assert result["events_per_sec"] > 1_000
+    assert result["peak_rss_bytes"] > 0
+    assert result["workload_ops"] > 0
+    assert result["health"]["status"] == "HEALTH_OK"
+    # The profiler planes were live and attributed the hot path.
+    assert result["top_hotspots_wall"]
+    assert result["top_handlers_sim"]

@@ -92,7 +92,8 @@ class MalacologyCluster:
               latency: Optional[LatencyModel] = None,
               mon_backing: str = "ram", mgr: bool = False,
               mgr_interval: float = 2.0, changelog: bool = False,
-              sanitize: Optional[bool] = None) -> "MalacologyCluster":
+              sanitize: Optional[bool] = None,
+              profile: Optional[bool] = None) -> "MalacologyCluster":
         sim = Simulator(seed=seed)
         # sanitize=True opts this cluster into the runtime protocol
         # sanitizers; False forces them off even when the
@@ -103,6 +104,17 @@ class MalacologyCluster:
             install_sanitizers(sim)
         elif sanitize is False:
             sim.sanitizers = None
+        # profile follows the same tri-state contract, mirroring the
+        # MALACOLOGY_PROFILE env opt-in.  The profiler planes are
+        # passive (counter bumps and wall-clock reads only), so a
+        # profiled cluster's event schedule is byte-identical to an
+        # unprofiled one — pinned by an integration test.
+        if profile:
+            from repro.profiling import install_profiler
+            install_profiler(sim)
+        elif profile is False:
+            from repro.profiling import uninstall_profiler
+            uninstall_profiler(sim)
         net = Network(sim, latency=latency or lan_latency())
         mon_names = [f"mon{i}" for i in range(mons)]
         monitors = [
@@ -274,6 +286,24 @@ class MalacologyCluster:
         args = {"pool": pool} if pool is not None else None
         return {o.name: o.admin_command("store.status", args)
                 for o in self.osds}
+
+    def profile_status(self) -> Dict[str, Any]:
+        """``profile.status``: kernel-plane summary (out-of-band)."""
+        return self.admin.admin_command("profile.status")
+
+    def profile_dump(self, scope: str = "cluster",
+                     collapsed: bool = False) -> Dict[str, Any]:
+        """Full profiler dump; cluster scope includes the wall plane."""
+        args: Dict[str, Any] = {"scope": scope}
+        if collapsed:
+            args["collapsed"] = True
+        return self.admin.admin_command("profile.dump", args)
+
+    def write_trace(self, path: str) -> str:
+        """Export collected spans + kernel tape as a Perfetto
+        ``trace.json`` (loadable at https://ui.perfetto.dev)."""
+        from repro.profiling import write_chrome_trace
+        return write_chrome_trace(self.sim, path)
 
     def telemetry_reset(self) -> None:
         """Clear perf counters cluster-wide and drop collected traces."""

@@ -241,8 +241,19 @@ class MgrDaemon(Daemon, MonitorClient):
         return out
 
     def metrics_export(self) -> str:
-        """Prometheus text format over the last scrape's dumps."""
-        return prometheus_export(self._last_dumps)
+        """Prometheus text format over the last scrape's dumps.
+
+        When the simulator has a profiler installed, a synthetic
+        ``kernel`` target is spliced in carrying the kernel-plane
+        counters and gauges (event totals and rate, queue-depth and
+        ready-batch high-water marks) — read out-of-band from the
+        profiler, so the export itself costs no cluster traffic.
+        """
+        dumps = dict(self._last_dumps)
+        profiler = getattr(self.sim, "profiler", None)
+        if profiler is not None:
+            dumps["kernel"] = profiler.prometheus_dump()
+        return prometheus_export(dumps)
 
     def changelog_status(self) -> Dict[str, Any]:
         """Changelog stream health, derived from the last scrape.

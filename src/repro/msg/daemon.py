@@ -28,6 +28,7 @@ from repro.errors import (
     error_from_code,
 )
 from repro.msg.message import CAST, REQUEST, RESPONSE, Envelope
+from repro.profiling import install_profile_commands
 from repro.sim.event import Future, Timeout
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
@@ -75,6 +76,20 @@ class Daemon:
             "procs.active",
             lambda: sum(1 for p in self._procs if not p.done))
         install_telemetry_commands(self)
+        install_profile_commands(self)
+        profiler = sim.profiler
+        if profiler is not None:
+            # Profiled clusters surface per-daemon handler totals as
+            # telemetry gauges, which the mgr's scrapes then carry
+            # into the Prometheus export.  Gauges are evaluated only
+            # at dump time, so registration never touches the
+            # schedule.
+            self.perf.gauge_fn(
+                "profile.handler_events",
+                lambda: profiler.daemon_totals(self.name)["events"])
+            self.perf.gauge_fn(
+                "profile.handler_sim_time",
+                lambda: profiler.daemon_totals(self.name)["sim_time"])
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -220,6 +235,9 @@ class Daemon:
                     f"{self.name}: no handler for {env.method!r}"))
             return
         self.perf.incr("rpc.rx")
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.on_handler(self.name, env.method)
         span = None
         ctx = None
         if env.trace is not None:
@@ -230,7 +248,7 @@ class Daemon:
             ctx = SpanContext(span.trace_id, span.span_id)
         started = self.sim.now
         try:
-            result = self._invoke(handler, env, ctx)
+            result = self._invoke_timed(handler, env, ctx)
         except MalacologyError as exc:
             self._finish_rpc(env, span, started, error=exc)
             if env.kind == REQUEST:
@@ -262,6 +280,25 @@ class Daemon:
         else:
             self._finish_rpc(env, span, started)
             self._reply_value(env, result)
+
+    def _invoke_timed(self, handler: Callable[[str, Any], Any],
+                      env: Envelope, ctx: Optional[SpanContext]) -> Any:
+        """Run :meth:`_invoke`, charging the synchronous portion to the
+        wall-clock profiler when one is installed.
+
+        Generator handlers only execute up to their first yield here;
+        later resumptions are attributed by the kernel dispatch loop
+        through the process's name, so the whole trampoline is covered
+        without double counting.
+        """
+        wall = self.sim.wall_profiler
+        if wall is None:
+            return self._invoke(handler, env, ctx)
+        token = wall.begin()
+        try:
+            return self._invoke(handler, env, ctx)
+        finally:
+            wall.end_handler(token, self.name, env.method)
 
     def _invoke(self, handler: Callable[[str, Any], Any], env: Envelope,
                 ctx: Optional[SpanContext]) -> Any:
@@ -344,6 +381,11 @@ class Daemon:
     def _finish_rpc(self, env: Envelope, span: Any, started: float,
                     error: Optional[BaseException] = None) -> None:
         self.perf.time(f"rpc.{env.method}", self.sim.now - started)
+        profiler = self.sim.profiler
+        if profiler is not None:
+            profiler.on_handler_done(self.name, env.method,
+                                     self.sim.now - started,
+                                     error=error is not None)
         if span is not None:
             self.tracer.finish(span.span_id, error=error)
 

@@ -151,9 +151,20 @@ class Simulator:
         #: hooks daemons call are passive observers, so an installed
         #: registry never perturbs the event schedule.
         self.sanitizers: Optional[Any] = None
+        #: Profiler attachment points (repro.profiling).  ``profiler``
+        #: is the deterministic simulation-plane counter set,
+        #: ``wall_profiler`` the host wall-clock/allocation plane.
+        #: Both are ``None`` by default — the dispatch loop's fast
+        #: path is a single ``is None`` check — and both are passive:
+        #: enabling them leaves the event schedule byte-identical.
+        self.profiler: Optional[Any] = None
+        self.wall_profiler: Optional[Any] = None
         if os.environ.get("MALACOLOGY_SANITIZE"):
             from repro.analysis.sanitizers import install_sanitizers
             install_sanitizers(self)
+        if os.environ.get("MALACOLOGY_PROFILE"):
+            from repro.profiling import install_profiler
+            install_profiler(self)
 
     # ------------------------------------------------------------------
     # Clock and randomness
@@ -214,15 +225,28 @@ class Simulator:
         earlier, so back-to-back ``run`` calls compose predictably.
         """
         self._stopped = False
+        profiler = self.profiler
+        wall = self.wall_profiler
         while self._queue and not self._stopped:
             when, _, call = self._queue[0]
             if until is not None and when > until:
                 break
             heapq.heappop(self._queue)
             if call.cancelled:
+                if profiler is not None:
+                    profiler.on_cancelled()
                 continue
             self._now = when
-            call.fn(*call.args)
+            if profiler is not None:
+                profiler.on_event(when, len(self._queue))
+            if wall is None:
+                call.fn(*call.args)
+            else:
+                token = wall.begin()
+                try:
+                    call.fn(*call.args)
+                finally:
+                    wall.end_dispatch(token, call)
             self._raise_pending_failures()
         if until is not None and self._now < until:
             self._now = until
@@ -243,6 +267,8 @@ class Simulator:
         if not isinstance(fut, Future):
             raise TypeError("expected a Process or Future")
         fut.had_waiters = True  # we are the waiter; errors reach us
+        profiler = self.profiler
+        wall = self.wall_profiler
         while not fut.done:
             if not self._queue:
                 raise RuntimeError(
@@ -252,9 +278,20 @@ class Simulator:
                 raise RuntimeError(f"exceeded simulated time limit {limit}")
             when, _, call = heapq.heappop(self._queue)
             if call.cancelled:
+                if profiler is not None:
+                    profiler.on_cancelled()
                 continue
             self._now = when
-            call.fn(*call.args)
+            if profiler is not None:
+                profiler.on_event(when, len(self._queue))
+            if wall is None:
+                call.fn(*call.args)
+            else:
+                token = wall.begin()
+                try:
+                    call.fn(*call.args)
+                finally:
+                    wall.end_dispatch(token, call)
             self._raise_pending_failures()
         return fut.result()
 

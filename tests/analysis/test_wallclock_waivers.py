@@ -1,0 +1,50 @@
+"""Negative test: wall-clock discipline across the shipped tree.
+
+``repro.profiling`` is the one sanctioned wall-clock consumer outside
+the simulation kernel — its reads are deliberate, waived with MAL001
+suppressions, and never feed back into the schedule.  These tests pin
+both directions of that claim:
+
+* running the MAL001 rule *raw* (ignoring suppressions) over ``src/``
+  finds wall-clock calls **only** inside ``repro.profiling`` — nobody
+  else snuck a host clock in behind a waiver or otherwise;
+* the full linter (suppressions honored) over ``src/`` reports zero
+  findings — every profiling waiver is declared, used, and hygienic.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.linter import FileContext, Linter
+from repro.analysis.rules import WallClockRule, default_rules
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _contexts():
+    for path in sorted(SRC.rglob("*.py")):
+        source = path.read_text()
+        yield FileContext(path, source, ast.parse(source))
+
+
+def test_raw_wallclock_findings_only_in_profiling():
+    rule = WallClockRule()
+    findings = []
+    for ctx in _contexts():
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    # The sanctioned boundary must actually exist (otherwise the
+    # waivers rotted away and this test is vacuous)...
+    assert findings, "expected MAL001 hits inside repro.profiling"
+    # ...and nothing outside repro/profiling reads a host clock.
+    # (sim/kernel.py is exempt by the rule itself: in_kernel.)
+    for f in findings:
+        parts = Path(f.path).parts
+        assert "profiling" in parts, (
+            f"undeclared wall-clock use outside repro.profiling: "
+            f"{f.render()}")
+
+
+def test_profiling_waivers_are_declared_and_lint_passes():
+    findings = Linter(default_rules()).lint_paths([str(SRC)])
+    assert findings == [], "\n".join(f.render() for f in findings)
