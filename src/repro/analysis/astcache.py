@@ -1,0 +1,93 @@
+"""Shared parse plane for the analysis tooling.
+
+The tree linter and the message-flow analyzer both need every source
+file parsed to an AST.  Parsing dominates their wall-clock, so this
+module parses each file exactly once per process and hands the same
+:class:`SourceFile` objects to every consumer — ``lint`` and ``flow``
+in one ``check`` invocation share a single pass over the tree.
+
+The cache is keyed by ``(path, mtime, size)``: editing a file between
+two analyses inside one process (tests do this) transparently
+re-parses it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file (or its read/parse failure)."""
+
+    path: Path
+    source: str = ""
+    tree: Optional[ast.Module] = None
+    #: OSError/UnicodeDecodeError text when the file was unreadable.
+    read_error: Optional[str] = None
+    #: (message, lineno) when the file failed to parse.
+    syntax_error: Optional[Tuple[str, int]] = None
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.tree is not None
+
+
+def parse_file(path: Path) -> SourceFile:
+    """Read and parse one file, capturing failures as data."""
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return SourceFile(path=path, read_error=str(exc))
+    sf = SourceFile(path=path, source=source,
+                    lines=source.splitlines())
+    try:
+        sf.tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        sf.syntax_error = (exc.msg or "invalid syntax", exc.lineno or 1)
+    return sf
+
+
+def expand_paths(paths: Sequence[str]) -> List[Path]:
+    """Files named by ``paths``: directories recurse, sorted for
+    deterministic analysis order."""
+    files: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+class ASTCache:
+    """Parse-once cache shared by the lint and flow passes."""
+
+    def __init__(self) -> None:
+        self._by_path: Dict[Path, Tuple[Tuple[float, int], SourceFile]] = {}
+
+    def get(self, path: Path) -> SourceFile:
+        try:
+            st = path.stat()
+            stamp = (st.st_mtime, st.st_size)
+        except OSError as exc:
+            return SourceFile(path=path, read_error=str(exc))
+        hit = self._by_path.get(path)
+        if hit is not None and hit[0] == stamp:
+            return hit[1]
+        sf = parse_file(path)
+        self._by_path[path] = (stamp, sf)
+        return sf
+
+    def files(self, paths: Sequence[str]) -> List[SourceFile]:
+        return [self.get(p) for p in expand_paths(paths)]
+
+
+#: Process-wide default cache: one ``python -m repro.analysis check``
+#: run parses the tree once for both subanalyses.
+DEFAULT_CACHE = ASTCache()

@@ -1,0 +1,171 @@
+"""Artifact emission for the message-flow analyzer.
+
+Two artifacts are committed under ``docs/`` and gated against drift:
+
+* ``rpc-graph.json`` — the full graph (kinds, handler tables, edges,
+  per-method registry) stamped with ``schema_version`` + ``git_sha``
+  per the bench_util conventions;
+* ``rpc-graph.dot`` — the Graphviz rendering (one node per daemon
+  kind, dashed edges for cast traffic).
+
+Both are byte-deterministic: every collection is sorted and all file
+paths are rewritten relative to the repo root, so regeneration from
+any working directory produces identical bytes.  ``check_drift``
+re-extracts the graph and compares against the committed artifacts,
+overriding the fresh ``git_sha`` with the committed one so the gate
+only fires on *content* drift, not on the commit hash advancing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.flow.extract import Extraction
+from repro.analysis.provenance import stamp
+
+JSON_NAME = "rpc-graph.json"
+DOT_NAME = "rpc-graph.dot"
+
+#: Markers delimiting the auto-rendered admin-command inventory inside
+#: DESIGN.md; everything between them is regenerated.
+INVENTORY_BEGIN = "<!-- admin-inventory:begin (generated) -->"
+INVENTORY_END = "<!-- admin-inventory:end -->"
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """Walk up to the checkout root (the dir holding pyproject.toml)."""
+    here = (start or Path(__file__)).resolve()
+    for parent in [here, *here.parents]:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return Path.cwd()
+
+
+def _rel(path_str: str, root: Path) -> str:
+    try:
+        return Path(path_str).resolve().relative_to(root).as_posix()
+    except ValueError:
+        return Path(path_str).as_posix()
+
+
+def _relativize(obj: Any, root: Path) -> Any:
+    """Rewrite every ``"path"`` value repo-root-relative, in place."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if key == "path" and isinstance(value, str):
+                obj[key] = _rel(value, root)
+            else:
+                _relativize(value, root)
+    elif isinstance(obj, list):
+        for item in obj:
+            _relativize(item, root)
+    return obj
+
+
+def graph_doc(ex: Extraction) -> Dict[str, Any]:
+    """The stamped, repo-root-relative JSON document."""
+    root = repo_root()
+    doc = stamp({
+        "tool": "repro.analysis.flow",
+        "graph": _relativize(ex.graph.to_payload(), root),
+        "dynamic_sites": [
+            {"path": _rel(p, root), "line": line, "method": method}
+            for p, line, method in ex.dynamic_sites],
+    })
+    return doc
+
+
+def render_json(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def emit_artifacts(ex: Extraction, outdir: Path) -> List[Path]:
+    """Write both artifacts; returns the written paths."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    json_path = outdir / JSON_NAME
+    dot_path = outdir / DOT_NAME
+    json_path.write_text(render_json(graph_doc(ex)))
+    dot_path.write_text(ex.graph.to_dot())
+    return [json_path, dot_path]
+
+
+def check_drift(ex: Extraction, outdir: Path) -> List[str]:
+    """Compare a fresh extraction against the committed artifacts.
+
+    Returns human-readable error strings (empty = no drift).
+    """
+    errors: List[str] = []
+    json_path = outdir / JSON_NAME
+    dot_path = outdir / DOT_NAME
+    if not json_path.is_file():
+        errors.append(f"{json_path}: missing (run `python -m "
+                      "repro.analysis flow --emit`)")
+    else:
+        committed_text = json_path.read_text()
+        try:
+            committed = json.loads(committed_text)
+        except json.JSONDecodeError as exc:
+            committed = None
+            errors.append(f"{json_path}: unparseable JSON ({exc})")
+        if committed is not None:
+            fresh = graph_doc(ex)
+            # Content drift only: the committed artifact legitimately
+            # carries the sha of the commit that generated it.
+            fresh["git_sha"] = committed.get("git_sha", "unknown")
+            if render_json(fresh) != committed_text:
+                errors.append(
+                    f"{json_path}: stale — the committed RPC graph "
+                    "no longer matches the source tree; regenerate "
+                    "with `python -m repro.analysis flow src/repro "
+                    "--emit docs` and commit the result")
+    if not dot_path.is_file():
+        errors.append(f"{dot_path}: missing (run `python -m "
+                      "repro.analysis flow --emit`)")
+    elif dot_path.read_text() != ex.graph.to_dot():
+        errors.append(
+            f"{dot_path}: stale — regenerate with `python -m "
+            "repro.analysis flow src/repro --emit docs` and commit")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Rendered admin-command inventory (DESIGN.md)
+# ----------------------------------------------------------------------
+def render_admin_inventory(ex: Extraction) -> str:
+    """Markdown table of every admin command per daemon kind."""
+    root = repo_root()
+    lines = [
+        INVENTORY_BEGIN,
+        "",
+        "| Kind | Command | Registered at |",
+        "|------|---------|---------------|",
+    ]
+    for kind, commands in ex.graph.admin_inventory().items():
+        for command in commands:
+            handler = ex.graph.kinds[kind].handlers.get(command)
+            where = "-"
+            if handler is not None:
+                where = f"`{_rel(handler.path, root)}:{handler.line}`"
+            lines.append(f"| {kind} | `{command}` | {where} |")
+    lines.extend(["", INVENTORY_END])
+    return "\n".join(lines)
+
+
+def inject_inventory(design_path: Path, ex: Extraction) -> bool:
+    """Replace the marker block in DESIGN.md; returns True if the
+    file changed."""
+    text = design_path.read_text()
+    begin = text.find(INVENTORY_BEGIN)
+    end = text.find(INVENTORY_END)
+    if begin < 0 or end < 0:
+        raise SystemExit(
+            f"{design_path}: admin-inventory markers not found "
+            f"(expected '{INVENTORY_BEGIN}' ... '{INVENTORY_END}')")
+    rendered = render_admin_inventory(ex)
+    updated = text[:begin] + rendered + text[end + len(INVENTORY_END):]
+    if updated != text:
+        design_path.write_text(updated)
+        return True
+    return False

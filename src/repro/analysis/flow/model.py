@@ -1,0 +1,226 @@
+"""Message-flow graph model: daemon kinds, handlers, call/cast edges.
+
+The graph is the analyzer's single product: nodes are *daemon kinds*
+(``mon``/``mds``/``osd``/``mgr``/``client``/``changelog``), each
+carrying its merged handler table (direct registrations, admin-command
+mirrors, mixin and helper contributions), and edges are every resolved
+``call``/``cast`` site with its destination kind and payload-shape
+summary.  All collections are stored and emitted sorted so the JSON
+and Graphviz artifacts are byte-stable across runs and hash seeds —
+the drift gate depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Destination marker for sites whose target kind could not be pinned
+#: down (e.g. the mgr scraping ``self.targets``): matches any kind.
+ANY_KIND = "*"
+
+
+@dataclass(frozen=True)
+class Handler:
+    """One registered RPC method on one daemon kind."""
+
+    kind: str
+    method: str
+    cls: str
+    func: str                      # handler callable ("<lambda>" ok)
+    path: str
+    line: int
+    #: "handler" (register_handler), "admin" (register_admin_command's
+    #: in-band mirror), with a "+helper" suffix when a helper function
+    #: or non-daemon class performed the registration.
+    via: str = "handler"
+    returns_value: bool = False
+    falls_through: bool = False
+    is_generator: bool = False
+    #: Keys the handler reads with ``payload["k"]`` — these are hard
+    #: requirements on every call site (MAL014 direction 1).
+    payload_keys: Tuple[str, ...] = ()
+    #: Keys read with ``payload.get("k")`` — optional, but still count
+    #: as "read" when checking call-site keys (MAL014 direction 2).
+    payload_optional_keys: Tuple[str, ...] = ()
+    #: Handler consumes the payload wholesale (bare name / ** / loop),
+    #: so its key set is open-ended.
+    payload_wholesale: bool = False
+
+    @property
+    def is_admin(self) -> bool:
+        return self.via.startswith("admin")
+
+    def sort_key(self) -> Tuple[str, str]:
+        return (self.kind, self.method)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.cls, "func": self.func,
+            "path": self.path, "line": self.line, "via": self.via,
+            "returns_value": self.returns_value,
+            "falls_through": self.falls_through,
+            "generator": self.is_generator,
+            "payload_keys": list(self.payload_keys),
+            "payload_optional_keys": list(self.payload_optional_keys),
+            "payload_wholesale": self.payload_wholesale,
+        }
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved ``call``/``cast`` site (direct or via a wrapper)."""
+
+    src_kinds: Tuple[str, ...]     # kinds the defining class serves
+    src_cls: str
+    mode: str                      # "call" | "cast"
+    method: str
+    dst_text: str                  # source text of the dst expression
+    dst_kind: str                  # resolved kind or ANY_KIND
+    resolution: str                # const|dataflow|name-hint|peer|registry|unresolved
+    path: str
+    line: int
+    #: "direct", or "wrapper:<func>" for sites reconstructed from a
+    #: constant-method caller of a dynamic-method RPC wrapper.
+    via: str = "direct"
+    payload_keys: Tuple[str, ...] = ()
+    #: True when the payload is a closed dict literal (every key seen);
+    #: False when literal-plus-updates; None when not a dict literal.
+    payload_exhaustive: Optional[bool] = None
+    consumes_reply: bool = False
+    has_timeout: bool = False
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.method, self.dst_kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src_kinds": list(self.src_kinds), "src_class": self.src_cls,
+            "mode": self.mode, "method": self.method,
+            "dst": self.dst_text, "dst_kind": self.dst_kind,
+            "resolution": self.resolution,
+            "path": self.path, "line": self.line, "via": self.via,
+            "payload_keys": list(self.payload_keys),
+            "payload_exhaustive": self.payload_exhaustive,
+            "consumes_reply": self.consumes_reply,
+            "has_timeout": self.has_timeout,
+        }
+
+
+@dataclass
+class KindNode:
+    """One daemon kind: its classes and merged handler table."""
+
+    kind: str
+    classes: List[str] = field(default_factory=list)
+    handlers: Dict[str, Handler] = field(default_factory=dict)
+    admin_commands: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "classes": sorted(self.classes),
+            "handlers": {m: h.to_dict()
+                         for m, h in sorted(self.handlers.items())},
+            "admin_commands": sorted(self.admin_commands),
+        }
+
+
+@dataclass
+class FlowGraph:
+    """The whole-program message-flow graph."""
+
+    kinds: Dict[str, KindNode] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Build helpers
+    # ------------------------------------------------------------------
+    def kind(self, name: str) -> KindNode:
+        node = self.kinds.get(name)
+        if node is None:
+            node = self.kinds[name] = KindNode(kind=name)
+        return node
+
+    def finish(self) -> "FlowGraph":
+        """Sort every collection; call once after extraction."""
+        self.sites.sort(key=CallSite.sort_key)
+        self.kinds = dict(sorted(self.kinds.items()))
+        for node in self.kinds.values():
+            node.classes = sorted(set(node.classes))
+            node.admin_commands = sorted(set(node.admin_commands))
+            node.handlers = dict(sorted(node.handlers.items()))
+        return self
+
+    # ------------------------------------------------------------------
+    # Query helpers (the rules build on these)
+    # ------------------------------------------------------------------
+    def registered_kinds(self, method: str) -> List[str]:
+        """Kinds that register ``method`` (sorted)."""
+        return [k for k, node in self.kinds.items()
+                if method in node.handlers]
+
+    def handlers_of(self, method: str) -> List[Handler]:
+        return [node.handlers[method] for node in self.kinds.values()
+                if method in node.handlers]
+
+    def sites_of(self, method: str) -> List[CallSite]:
+        return [s for s in self.sites if s.method == method]
+
+    def all_methods(self) -> List[str]:
+        seen = {m for node in self.kinds.values() for m in node.handlers}
+        seen.update(s.method for s in self.sites)
+        return sorted(seen)
+
+    def admin_inventory(self) -> Dict[str, List[str]]:
+        """kind -> sorted admin command names."""
+        return {k: list(node.admin_commands)
+                for k, node in sorted(self.kinds.items())
+                if node.admin_commands}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict, fully sorted (the ``graph`` key of the
+        emitted artifact)."""
+        methods: Dict[str, Any] = {}
+        for m in self.all_methods():
+            methods[m] = {
+                "registered_by": self.registered_kinds(m),
+                "site_count": len(self.sites_of(m)),
+            }
+        return {
+            "kinds": {k: node.to_dict()
+                      for k, node in self.kinds.items()},
+            "edges": [s.to_dict() for s in self.sites],
+            "methods": methods,
+        }
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: one node per kind, one edge per
+        distinct (src kind, dst kind, method, mode)."""
+        lines = [
+            "// Generated by `python -m repro.analysis flow --emit`;",
+            "// do not edit by hand (the drift gate compares bytes).",
+            "digraph rpc {",
+            '  rankdir=LR;',
+            '  node [shape=box, fontname="Helvetica"];',
+            '  edge [fontsize=9, fontname="Helvetica"];',
+        ]
+        for kind, node in self.kinds.items():
+            classes = ", ".join(sorted(node.classes)) or "-"
+            n_handlers = len(node.handlers)
+            lines.append(
+                f'  "{kind}" [label="{kind}\\n{classes}\\n'
+                f'{n_handlers} handlers"];')
+        lines.append(f'  "{ANY_KIND}" [shape=ellipse, '
+                     'label="any daemon"];')
+        edges = sorted({
+            (src, s.dst_kind, s.method, s.mode)
+            for s in self.sites for src in s.src_kinds})
+        for src, dst, method, mode in edges:
+            style = ', style=dashed' if mode == "cast" else ""
+            lines.append(
+                f'  "{src}" -> "{dst}" [label="{method}"{style}];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"

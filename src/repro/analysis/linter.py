@@ -1,7 +1,10 @@
 """Static linter framework: findings, suppressions, rule driver.
 
-The linter parses each file once, hands the AST to every registered
-rule, then reconciles the raw findings against inline suppressions::
+The linter parses each file once (through the shared
+:mod:`repro.analysis.astcache` plane, so a combined ``check`` run
+shares the parse with the flow analyzer), hands the AST to every
+registered rule, then reconciles the raw findings against inline
+suppressions::
 
     risky_call()  # mal: disable=MAL001 -- replaying a recorded clock
 
@@ -10,6 +13,13 @@ Suppression hygiene is itself linted (MAL008): malformed comments,
 unknown codes, and suppressions that no longer match a finding are all
 reported, so waivers cannot rot silently.  MAL008 cannot be
 suppressed.
+
+The unused-waiver sweep runs unconditionally over every analyzed file
+— not just files that produced findings — but is *scoped to the codes
+the current pass actually checks*: a ``lint`` run never flags a waiver
+of a flow code (MAL010+) as unused, and a ``flow`` run never flags a
+lint waiver; a combined ``check`` run sweeps both.  Codes outside the
+catalogue entirely are always malformed.
 """
 
 from __future__ import annotations
@@ -21,10 +31,32 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.astcache import DEFAULT_CACHE, SourceFile, expand_paths
 
 #: Stable rule-code shape; codes outside this shape are malformed.
 CODE_RE = re.compile(r"MAL\d{3}$")
+
+#: The full MAL catalogue.  Codes are never reused; a suppression of a
+#: code outside this tuple is malformed no matter which pass runs.
+#: MAL001-008 are the file-local lint rules (plus framework hygiene),
+#: MAL010-017 the whole-program message-flow rules.
+KNOWN_CODES: Tuple[str, ...] = (
+    "MAL001", "MAL002", "MAL003", "MAL004", "MAL005", "MAL006",
+    "MAL007", "MAL008",
+    "MAL010", "MAL011", "MAL012", "MAL013", "MAL014", "MAL015",
+    "MAL016", "MAL017",
+)
 
 #: Directive comments look like ``mal: disable=MAL001 -- reason``
 #: (after the hash sign that makes them a comment).
@@ -129,11 +161,20 @@ def _comments(source: str) -> List[Tuple[int, str, bool]]:
     return out
 
 
-class _FileSuppressions:
-    """Parsed ``# mal:`` comments for one file, plus hygiene findings."""
+class FileSuppressions:
+    """Parsed ``# mal:`` comments for one file, plus hygiene findings.
 
-    def __init__(self, path: Path, lines: Sequence[str]):
+    ``report_hygiene=False`` parses the waivers without re-reporting
+    comment hygiene (malformed/unknown/non-suppressible): the flow
+    pass filters its findings through the same waivers, but comment
+    hygiene belongs to the lint pass so a combined run never reports
+    it twice.
+    """
+
+    def __init__(self, path: Path, lines: Sequence[str],
+                 report_hygiene: bool = True):
         self.hygiene: List[Finding] = []
+        self.report_hygiene = report_hygiene
         self.by_line: Dict[int, List[_Suppression]] = {}
         for idx, text, standalone in _comments("\n".join(lines)):
             m = _MAL_COMMENT.search(text)
@@ -146,12 +187,15 @@ class _FileSuppressions:
                 continue
             codes = tuple(c.strip() for c in d.group("codes").split(",")
                           if c.strip())
-            bad = [c for c in codes if not CODE_RE.match(c)]
+            bad = [c for c in codes
+                   if not CODE_RE.match(c) or c not in KNOWN_CODES]
             if bad or not codes:
                 self._bad(path, idx,
                           f"unknown lint code(s) {bad or ['<none>']} "
                           "in suppression")
-                continue
+                codes = tuple(c for c in codes if c not in bad)
+                if not codes:
+                    continue
             if HYGIENE_CODE in codes:
                 self._bad(path, idx,
                           f"{HYGIENE_CODE} (suppression hygiene) "
@@ -174,12 +218,21 @@ class _FileSuppressions:
             self.by_line.setdefault(target, []).append(sup)
 
     def _bad(self, path: Path, line: int, message: str) -> None:
+        if not self.report_hygiene:
+            return
         self.hygiene.append(Finding(
             code=HYGIENE_CODE, name="suppression-hygiene",
             message=message, path=str(path), line=line))
 
-    def filter(self, path: Path,
-               findings: Iterable[Finding]) -> List[Finding]:
+    def filter(self, path: Path, findings: Iterable[Finding],
+               active_codes: Optional[Set[str]] = None) -> List[Finding]:
+        """Drop waived findings; flag unused waivers of active codes.
+
+        ``active_codes`` names the codes the current pass actually
+        checked on this file; a waiver of a code outside that set is
+        simply not judged (another pass owns it).  ``None`` means all
+        known codes are active (legacy single-pass behavior).
+        """
         kept: List[Finding] = []
         for f in findings:
             sups = self.by_line.get(f.line, [])
@@ -193,11 +246,21 @@ class _FileSuppressions:
         for sups in self.by_line.values():
             for sup in sups:
                 for code in sup.codes:
-                    if code not in sup.used:
-                        self._bad(path, sup.comment_line,
-                                  f"unused suppression of {code} "
-                                  "(no such finding on the target line)")
+                    if code in sup.used:
+                        continue
+                    if active_codes is not None \
+                            and code not in active_codes:
+                        continue
+                    self.hygiene.append(Finding(
+                        code=HYGIENE_CODE, name="suppression-hygiene",
+                        message=f"unused suppression of {code} "
+                        "(no such finding on the target line)",
+                        path=str(path), line=sup.comment_line))
         return kept
+
+
+#: Backwards-compatible alias (pre-flow name).
+_FileSuppressions = FileSuppressions
 
 
 class Linter:
@@ -207,55 +270,102 @@ class Linter:
         self.rules = list(rules)
         codes = [r.code for r in self.rules]
         assert len(set(codes)) == len(codes), "duplicate rule codes"
+        unknown = [c for c in codes if c not in KNOWN_CODES]
+        assert not unknown, f"rules outside the catalogue: {unknown}"
 
     # ------------------------------------------------------------------
     def lint_source(self, source: str,
                     path: str = "<string>") -> List[Finding]:
         """Lint one in-memory source blob (test fixtures use this)."""
-        return self._lint_one(Path(path), source)
+        sf = SourceFile(path=Path(path), source=source,
+                        lines=source.splitlines())
+        try:
+            sf.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            sf.syntax_error = (exc.msg or "invalid syntax",
+                               exc.lineno or 1)
+        return self.lint_file(sf)
 
-    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
-        findings: List[Finding] = []
-        for fp in self._expand(paths):
-            try:
-                source = fp.read_text()
-            except (OSError, UnicodeDecodeError) as exc:
-                findings.append(Finding(
-                    code=HYGIENE_CODE, name="unreadable",
-                    message=f"cannot read file: {exc}",
-                    path=str(fp), line=1))
-                continue
-            findings.extend(self._lint_one(fp, source))
+    def lint_paths(self, paths: Sequence[str],
+                   jobs: int = 1) -> List[Finding]:
+        if jobs > 1:
+            findings = _lint_parallel(paths, jobs)
+        else:
+            findings = []
+            for sf in DEFAULT_CACHE.files(paths):
+                findings.extend(self.lint_file(sf))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
         return findings
 
     # ------------------------------------------------------------------
-    def _expand(self, paths: Sequence[str]) -> List[Path]:
-        files: List[Path] = []
-        for p in paths:
-            path = Path(p)
-            if path.is_dir():
-                files.extend(sorted(path.rglob("*.py")))
-            elif path.suffix == ".py":
-                files.append(path)
-        return files
-
-    def _lint_one(self, path: Path, source: str) -> List[Finding]:
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
+    def lint_file(self, sf: SourceFile) -> List[Finding]:
+        if sf.read_error is not None:
+            return [Finding(code=HYGIENE_CODE, name="unreadable",
+                            message=f"cannot read file: {sf.read_error}",
+                            path=str(sf.path), line=1)]
+        if sf.syntax_error is not None:
+            msg, line = sf.syntax_error
             return [Finding(code=HYGIENE_CODE, name="syntax-error",
-                            message=f"cannot parse: {exc.msg}",
-                            path=str(path), line=exc.lineno or 1)]
-        ctx = FileContext(path, source, tree)
+                            message=f"cannot parse: {msg}",
+                            path=str(sf.path), line=line)]
+        ctx = FileContext(sf.path, sf.source, sf.tree)
         raw: List[Finding] = []
+        active: Set[str] = {HYGIENE_CODE}
         for rule in self.rules:
             if rule.applies(ctx):
+                active.add(rule.code)
                 raw.extend(rule.check(ctx))
-        sups = _FileSuppressions(path, ctx.lines)
-        kept = sups.filter(path, raw)
+        sups = FileSuppressions(sf.path, ctx.lines)
+        kept = sups.filter(sf.path, raw, active_codes=active)
         kept.extend(sups.hygiene)
         return kept
+
+
+# ----------------------------------------------------------------------
+# Parallel driver (``--jobs N``)
+# ----------------------------------------------------------------------
+_WORKER_LINTER: Optional[Linter] = None
+
+
+def _init_worker(rules_factory: Callable[[], Sequence[Rule]]) -> None:
+    global _WORKER_LINTER
+    _WORKER_LINTER = Linter(rules_factory())
+
+
+def _lint_one_path(path_str: str) -> List[Finding]:
+    assert _WORKER_LINTER is not None
+    from repro.analysis.astcache import parse_file
+
+    return _WORKER_LINTER.lint_file(parse_file(Path(path_str)))
+
+
+def _lint_parallel(paths: Sequence[str], jobs: int) -> List[Finding]:
+    """Fan the per-file lint out over a process pool.
+
+    Each worker parses and lints whole files, so the split is at file
+    granularity and the merged result is byte-identical to a serial
+    run after the final sort.  The workers rebuild the rule set from
+    ``default_rules`` — per-file lint state never crosses files, so
+    this is safe for any stateless rule catalogue.
+    """
+    import multiprocessing
+
+    from repro.analysis.rules import default_rules
+
+    files = [str(p) for p in expand_paths(paths)]
+    if not files:
+        return []
+    findings: List[Finding] = []
+    ctx = multiprocessing.get_context("fork") \
+        if "fork" in multiprocessing.get_all_start_methods() \
+        else multiprocessing.get_context()
+    with ctx.Pool(processes=min(jobs, len(files)),
+                  initializer=_init_worker,
+                  initargs=(default_rules,)) as pool:
+        for chunk in pool.map(_lint_one_path, files,
+                              chunksize=max(1, len(files) // (jobs * 4))):
+            findings.extend(chunk)
+    return findings
 
 
 def render_human(findings: Sequence[Finding]) -> str:
@@ -265,5 +375,7 @@ def render_human(findings: Sequence[Finding]) -> str:
 
 
 def render_json(findings: Sequence[Finding]) -> str:
-    return json.dumps([f.to_dict() for f in findings], indent=1,
-                      sort_keys=True)
+    from repro.analysis.provenance import stamp
+
+    doc = stamp({"findings": [f.to_dict() for f in findings]})
+    return json.dumps(doc, indent=1, sort_keys=True)

@@ -1,0 +1,48 @@
+"""Provenance stamping for analysis artifacts.
+
+Mirrors the ``benchmarks/bench_util.emit_json`` conventions (PR 6):
+every machine-readable document the analysis tooling writes carries a
+``schema_version`` and the ``git_sha`` it was produced at, so lint
+reports and RPC-graph artifacts are comparable across PRs exactly like
+benchmark baselines.  The code lives here (not in ``benchmarks/``)
+because ``src/repro`` must stay importable without the benchmark tree
+on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Any, Dict
+
+#: Version of the analysis-JSON envelope (lint ``--json`` and the flow
+#: graph emitters).  Bump when the meaning or layout of the stamped
+#: fields changes, so the drift gate can refuse to compare
+#: incomparable documents.
+ANALYSIS_SCHEMA_VERSION = 1
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+
+
+def git_sha(cwd: str = _REPO_ROOT) -> str:
+    """The repo HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, cwd=cwd, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def stamp(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``doc`` with the provenance fields stamped in front.
+
+    The stamped fields sort first under ``sort_keys`` emission order is
+    irrelevant; what matters is that every document carries them.
+    """
+    return {"schema_version": ANALYSIS_SCHEMA_VERSION,
+            "git_sha": git_sha(), **doc}

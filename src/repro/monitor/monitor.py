@@ -127,9 +127,11 @@ class Monitor(Daemon):
         rh("mon_get_map", self._h_get_map)
         rh("mon_kv_get", self._h_kv_get)
         rh("mon_kv_list", self._h_kv_list)
-        rh("mon_log_tail", self._h_log_tail)
+        # Debug/tooling surface: tests and operator scripts query
+        # these directly; no shipped daemon calls them.
+        rh("mon_log_tail", self._h_log_tail)  # mal: disable=MAL011 -- test/tooling query surface, no in-tree caller
         rh("mon_subscribe", self._h_subscribe)
-        rh("mon_leader", lambda src, p: self.leader)
+        rh("mon_leader", lambda src, p: self.leader)  # mal: disable=MAL011 -- test/tooling query surface, no in-tree caller
 
     def _start_loops(self) -> None:
         self.every(self.HEARTBEAT_INTERVAL, self._heartbeat_tick,
@@ -387,6 +389,15 @@ class Monitor(Daemon):
             self.store.restore(reply["snapshot"])
             self.chosen.applied_through = reply["applied_through"]
             self.chosen.take_ready()
+            san = getattr(self.sim, "sanitizers", None)
+            if san is not None:
+                # The restore jumps every map epoch at once; the
+                # monotone-epochs checker must see the new watermarks,
+                # or a snapshot that regressed a map would go unseen.
+                for kind in ("mds", "mon", "osd"):
+                    san.paxos.on_epoch(self.name, kind,
+                                       self.store.get_map(kind).epoch,
+                                       daemon=self)
             self.max_term_seen = max(self.max_term_seen,
                                      reply["max_term_seen"])
             self._notify_subscribers({"osd", "mds", "mon"})

@@ -226,7 +226,10 @@ class OSD(Daemon, MonitorClient):
             return
         fanout = min(self.GOSSIP_FANOUT, len(peers))
         for peer in self._gossip_rng.sample(peers, fanout):
-            self.cast(peer, "osd_map_push", m.to_dict())
+            # osd_map_push is dual-use: MonitorClient call()s it to
+            # fetch a map (reply consumed), gossip cast()s it to push
+            # one (reply meaningless by design).
+            self.cast(peer, "osd_map_push", m.to_dict())  # mal: disable=MAL015 -- dual getter/push handler; gossip needs no reply
 
     # ------------------------------------------------------------------
     # Dynamic interface installation (Data I/O interface)

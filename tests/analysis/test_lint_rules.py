@@ -250,8 +250,11 @@ def test_cli_json_output_and_exit_codes(tmp_path):
         capture_output=True, text=True,
         env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
     assert proc.returncode == 1
-    findings = json.loads(proc.stdout)
-    assert findings[0]["code"] == "MAL001"
+    doc = json.loads(proc.stdout)
+    # Stamped envelope per the bench_util conventions (PR 6).
+    assert doc["schema_version"] == 1
+    assert isinstance(doc["git_sha"], str) and doc["git_sha"]
+    assert doc["findings"][0]["code"] == "MAL001"
     good = tmp_path / "good.py"
     good.write_text("x = 1\n")
     proc = subprocess.run(
