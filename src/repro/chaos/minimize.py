@@ -1,0 +1,130 @@
+"""Delta-debugging a failing nemesis schedule to a minimal repro.
+
+Classic ddmin over the schedule's op list: try dropping chunks (and
+chunk complements) while the run still fails, halving granularity as
+progress stalls, until no single op can be removed.  This only works
+because schedules are declarative and the engine's finalize always
+restores the cluster — any subset of ops is a valid schedule.
+
+Every candidate is one full deterministic re-run (same scenario, same
+seed, explicit schedule), so minimization cost is bounded by
+``O(ops^2)`` runs in the worst case — fine for the handfuls of ops our
+scenarios generate.  Results are cached by op-index subset.
+
+The minimized schedule is emitted as a provenance-stamped JSON
+artifact (PR 6/7 conventions) that ``python -m repro.chaos run
+--schedule`` replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.provenance import stamp
+from repro.chaos.ops import NemesisSchedule
+from repro.chaos.oracles import RunVerdict
+from repro.chaos.runner import run_case
+
+#: Schema of the minimized-repro artifact.
+REPRO_SCHEMA = "chaos-repro"
+
+
+def minimize_schedule(
+        schedule: NemesisSchedule,
+        still_fails: Callable[[NemesisSchedule], bool],
+        log: Optional[Callable[[str], None]] = None,
+) -> Tuple[NemesisSchedule, int]:
+    """ddmin: the smallest op subset for which ``still_fails`` holds.
+
+    Returns ``(minimized schedule, runs executed)``.  Assumes the full
+    schedule fails; if it does not, it is returned unchanged.
+    """
+    say = log or (lambda _msg: None)
+    cache: Dict[Tuple[int, ...], bool] = {}
+    runs = 0
+
+    def test(keep: List[int]) -> bool:
+        nonlocal runs
+        key = tuple(sorted(keep))
+        if key not in cache:
+            runs += 1
+            cache[key] = still_fails(schedule.subset(list(key)))
+        return cache[key]
+
+    indices = list(range(len(schedule.ops)))
+    if not indices or not test(indices):
+        return schedule, runs
+
+    granularity = 2
+    while len(indices) >= 2:
+        chunk = max(1, (len(indices) + granularity - 1) // granularity)
+        chunks = [indices[i:i + chunk]
+                  for i in range(0, len(indices), chunk)]
+        reduced = False
+        for i, part in enumerate(chunks):
+            if len(part) == len(indices):
+                continue
+            if test(part):  # this chunk alone still fails
+                say(f"minimize: reduced to {len(part)} ops "
+                    f"(chunk {i + 1}/{len(chunks)})")
+                indices = part
+                granularity = 2
+                reduced = True
+                break
+            complement = [x for x in indices if x not in part]
+            if complement and test(complement):
+                say(f"minimize: dropped chunk {i + 1}/{len(chunks)} "
+                    f"({len(complement)} ops remain)")
+                indices = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(indices):
+                break  # 1-minimal: no single op removable
+            granularity = min(len(indices), granularity * 2)
+    return schedule.subset(indices), runs
+
+
+def minimize_case(scenario: str, seed: int,
+                  schedule: NemesisSchedule,
+                  log: Optional[Callable[[str], None]] = None,
+                  ) -> Tuple[NemesisSchedule, RunVerdict, int]:
+    """Minimize one failing (scenario, seed) case by re-running it.
+
+    Returns the minimal schedule, the verdict of its final confirming
+    run, and how many runs minimization took.
+    """
+    def still_fails(candidate: NemesisSchedule) -> bool:
+        return not run_case(scenario, seed, schedule=candidate).ok
+
+    minimal, runs = minimize_schedule(schedule, still_fails, log=log)
+    final = run_case(scenario, seed, schedule=minimal)
+    return minimal, final, runs
+
+
+def write_repro_artifact(path: str, scenario: str, seed: int,
+                         original: NemesisSchedule,
+                         minimal: NemesisSchedule,
+                         verdict: RunVerdict,
+                         runs: int) -> str:
+    """Write the stamped minimized-repro JSON; returns the path."""
+    doc = stamp({
+        "kind": REPRO_SCHEMA,
+        "scenario": scenario,
+        "seed": seed,
+        "original_ops": len(original.ops),
+        "minimized_ops": len(minimal.ops),
+        "minimize_runs": runs,
+        "schedule": minimal.to_dict(),
+        "verdict": verdict.to_dict(),
+        "replay": (f"python -m repro.chaos run --scenario {scenario} "
+                   f"--seed {seed} --schedule {os.path.basename(path)}"),
+    })
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,132 @@
+"""Nemesis schedules: declarative, seedable, JSON-round-trippable.
+
+A :class:`NemesisSchedule` is a list of timed fault operations — the
+entire chaos plan for one run, written down *before* the run starts.
+That declarative shape is what makes the rest of the engine possible:
+
+* **determinism** — the schedule plus the cluster seed fully determine
+  the run; re-running a schedule reproduces the failure byte-for-byte;
+* **minimization** — the delta-debugger shrinks a failing run by
+  re-running subsets of the op list, which only works because every op
+  is self-contained (each fault it injects carries its own cleanup
+  time, so dropping an op never strands the cluster in a faulted
+  state);
+* **artifacts** — a minimized schedule serializes to stamped JSON, so
+  a CI failure ships its own repro.
+
+Op kinds and their parameters are documented on :data:`OP_KINDS`; the
+engine (:mod:`repro.chaos.engine`) is the single interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Every op kind the engine interprets, with its parameter contract.
+#: ``at`` is seconds after the engine is armed; durations are relative
+#: to ``at``.  Targets are daemon names ("osd0", "mds0", ...).
+OP_KINDS = {
+    "flap": "crash `target` at `at`, restart after `down_for`",
+    "crash": "crash `target` at `at` (restored by finalize)",
+    "rolling_flap": "flap each of `targets` for `down_for`, "
+                    "staggered by `stagger`",
+    "partition": "cut `a` <-> `b` at `at`, heal after `heal_for`",
+    "partition_oneway": "cut `src` -> `dst` only, heal after `heal_for`",
+    "partition_group": "cut every link between `group_a` and "
+                       "`group_b`, heal after `heal_for`",
+    "loss": "drop `src` -> `dst` messages at `rate` for `lasts` "
+            "(endpoints may be '*')",
+    "slow": "scale `target`'s latency by `factor` for `lasts`",
+    "pause": "freeze `target`'s tickers for `lasts`",
+    "duplicate": "duplicate casts/responses at `rate` for `lasts`",
+    "reorder": "delay a `rate` fraction of messages by up to `spread` "
+               "extra latency multiples for `lasts`",
+    "corrupt": "corrupt payloads at `rate` for `lasts` "
+               "(`detected` -> dropped frames; else delivered mangled)",
+    "store_eio": "fail commits with EIO at `rate` on `targets` "
+                 "for `lasts`",
+    "store_torn": "tear commits at `rate` on `targets` for `lasts`",
+    "bitrot": "at `at`, silently flip bits in up to `count` objects "
+              "of `pool` on non-primary replicas",
+}
+
+
+@dataclass
+class NemesisOp:
+    """One timed fault: ``kind`` at time ``at`` with ``params``."""
+
+    kind: str
+    at: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown nemesis op kind {self.kind!r} "
+                f"(known: {', '.join(sorted(OP_KINDS))})")
+        if self.at < 0:
+            raise ValueError(f"op time must be >= 0, got {self.at}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NemesisOp":
+        return cls(kind=data["kind"], at=float(data["at"]),
+                   params=dict(data.get("params", {})))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in
+                          sorted(self.params.items()))
+        return f"NemesisOp({self.kind} @{self.at:g} {inner})"
+
+
+@dataclass
+class NemesisSchedule:
+    """A full chaos plan: named, ordered ops, and a run horizon.
+
+    ``duration`` is how long the workload phase runs (all op times
+    should fall inside it); the engine's finalize/settle phase comes
+    after.  Schedules compare equal structurally, which the minimizer
+    relies on for caching.
+    """
+
+    name: str
+    ops: List[NemesisOp] = field(default_factory=list)
+    duration: float = 20.0
+
+    def add(self, kind: str, at: float, **params: Any) -> "NemesisSchedule":
+        self.ops.append(NemesisOp(kind=kind, at=at, params=params))
+        return self
+
+    def subset(self, keep: List[int]) -> "NemesisSchedule":
+        """A copy containing only the ops at indices ``keep``."""
+        return NemesisSchedule(
+            name=self.name,
+            ops=[NemesisOp.from_dict(self.ops[i].to_dict())
+                 for i in sorted(keep)],
+            duration=self.duration)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "duration": self.duration,
+                "ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NemesisSchedule":
+        return cls(name=data["name"],
+                   ops=[NemesisOp.from_dict(d)
+                        for d in data.get("ops", [])],
+                   duration=float(data.get("duration", 20.0)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NemesisSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self) -> int:
+        return len(self.ops)

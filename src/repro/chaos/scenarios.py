@@ -1,0 +1,344 @@
+"""Shipped nemesis scenarios: cluster spec + schedule + workload.
+
+A :class:`Scenario` bundles everything one chaos case needs:
+
+* how to build the cluster (``cluster_kwargs`` — sanitizers are always
+  forced on by the runner);
+* how to generate the nemesis schedule for a seed — drawn from the
+  dedicated ``chaos:schedule`` RNG stream of the *cluster's own*
+  simulator, so a scenario+seed pair fully determines the run and the
+  generation itself never perturbs protocol streams;
+* the workload driven against the cluster while faults fire, which
+  records every acked write with the run's oracles;
+* which oracles judge the end state.
+
+Workloads write each logical update to a *unique* oid and retry
+storage errors themselves (the librados loop only retries routing
+failures, not EIO): an un-acked write carries no durability
+obligation, an acked one must survive anything the schedule did.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.chaos.ops import NemesisSchedule
+from repro.chaos.oracles import (
+    ChangelogOracle,
+    DurabilityOracle,
+    ReplicaConvergenceOracle,
+    ZlogOracle,
+)
+from repro.errors import MalacologyError
+from repro.sim.event import Timeout
+
+#: Attempts per logical write before the workload declares the
+#: cluster unusable (which is itself a verdict-worthy failure).
+WRITE_ATTEMPTS = 30
+WRITE_RETRY_DELAY = 0.25
+
+
+class Scenario:
+    """One named chaos case; subclasses fill in the three parts."""
+
+    name = "base"
+    description = ""
+    duration = 20.0
+    #: Extra ``MalacologyCluster.build`` kwargs (seed/sanitize are set
+    #: by the runner).
+    cluster_kwargs: Dict[str, Any] = {}
+    #: Which oracle classes judge this scenario's end state.
+    oracle_names = ("durability", "replica-convergence")
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        """Generate this scenario's schedule from the cluster's RNG."""
+        raise NotImplementedError
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        """The client script run while the schedule fires."""
+        raise NotImplementedError
+
+    def _rng(self, cluster: Any) -> random.Random:
+        return cluster.sim.rng(f"chaos:schedule:{self.name}")
+
+    def _osd_names(self, cluster: Any) -> List[str]:
+        return [o.name for o in cluster.osds]
+
+
+def _write_acked(client: Any, oracle: Optional[DurabilityOracle],
+                 pool: str, oid: str, data: bytes) -> Generator:
+    """Write-full with workload-side retry; records the ack."""
+    last: Optional[MalacologyError] = None
+    for _ in range(WRITE_ATTEMPTS):
+        try:
+            yield from client.rados_write_full(pool, oid, data)
+        except MalacologyError as exc:
+            last = exc
+            yield Timeout(WRITE_RETRY_DELAY)
+            continue
+        if oracle is not None:
+            oracle.acked(pool, oid, data)
+        return
+    raise MalacologyError(
+        f"workload could not land {pool}/{oid} after "
+        f"{WRITE_ATTEMPTS} attempts: {last}")
+
+
+def _steady_writes(client: Any, oracle: Optional[DurabilityOracle],
+                   pool: str, prefix: str, count: int,
+                   gap: float) -> Generator:
+    """``count`` unique-oid writes spaced ``gap`` apart."""
+    for i in range(count):
+        data = f"{prefix}:{i}:".encode().ljust(64, b"x")
+        yield from _write_acked(client, oracle, pool,
+                                f"{prefix}.{i}", data)
+        yield Timeout(gap)
+
+
+class RollingCrashScenario(Scenario):
+    """OSDs flap in a rolling wave while clients write.
+
+    The re-replication claim: acked writes survive any single-replica
+    loss, and the acting sets re-converge once everyone is back.
+    """
+
+    name = "rolling-crash"
+    description = "staggered OSD flaps under a steady write load"
+    duration = 24.0
+    cluster_kwargs = {"osds": 5, "mdss": 1, "mons": 3}
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        osds = self._osd_names(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        wave = rng.sample(osds, k=min(3, len(osds)))
+        sched.add("rolling_flap", at=2.0 + rng.uniform(0.0, 2.0),
+                  targets=wave, down_for=3.0 + rng.uniform(0.0, 2.0),
+                  stagger=4.0)
+        # One extra independent flap later in the run.
+        sched.add("flap", at=16.0 + rng.uniform(0.0, 2.0),
+                  target=rng.choice(osds),
+                  down_for=2.0 + rng.uniform(0.0, 1.5))
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        yield from _steady_writes(client, oracles["durability"],
+                                  "data", "rolling", 40,
+                                  self.duration / 48.0)
+
+
+class GrayPartitionScenario(Scenario):
+    """Slow daemons, frozen tickers, and asymmetric links.
+
+    Nothing in this schedule is a clean failure: every daemon stays
+    up, yet timeouts fire, failure reports race heals, and one-way
+    links poison failure detection on exactly one side.
+    """
+
+    name = "gray-partition"
+    description = "slowdowns, ticker pauses, and one-way partitions"
+    duration = 24.0
+    cluster_kwargs = {"osds": 4, "mdss": 1, "mons": 3}
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        osds = self._osd_names(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        slow = rng.choice(osds)
+        sched.add("slow", at=2.0 + rng.uniform(0.0, 2.0), target=slow,
+                  factor=20.0 + rng.uniform(0.0, 30.0), lasts=6.0)
+        paused = rng.choice([n for n in osds if n != slow])
+        sched.add("pause", at=6.0 + rng.uniform(0.0, 2.0),
+                  target=paused, lasts=4.0)
+        a, b = rng.sample(osds, k=2)
+        sched.add("partition_oneway", at=10.0 + rng.uniform(0.0, 2.0),
+                  src=a, dst=b, heal_for=4.0)
+        sched.add("partition", at=15.0 + rng.uniform(0.0, 2.0),
+                  a=rng.choice(osds), b="mon0", heal_for=3.0)
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        yield from _steady_writes(client, oracles["durability"],
+                                  "data", "gray", 36,
+                                  self.duration / 44.0)
+
+
+class NetChaosScenario(Scenario):
+    """Duplication, reordering, detected corruption, and loss.
+
+    UDP-with-extra-steps: the protocols' own sequencing and retry
+    machinery must absorb all of it without help.
+    """
+
+    name = "net-chaos"
+    description = "message duplication, reordering, corruption, loss"
+    duration = 20.0
+    cluster_kwargs = {"osds": 4, "mdss": 1, "mons": 3}
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        sched.add("duplicate", at=1.0 + rng.uniform(0.0, 2.0),
+                  rate=0.05 + rng.uniform(0.0, 0.10), lasts=14.0)
+        sched.add("reorder", at=2.0 + rng.uniform(0.0, 2.0),
+                  rate=0.05 + rng.uniform(0.0, 0.10),
+                  spread=2.0 + rng.uniform(0.0, 4.0), lasts=12.0)
+        sched.add("corrupt", at=3.0 + rng.uniform(0.0, 2.0),
+                  rate=0.02 + rng.uniform(0.0, 0.04), detected=True,
+                  lasts=10.0)
+        sched.add("loss", at=4.0 + rng.uniform(0.0, 2.0), src="*",
+                  dst="*", rate=0.02 + rng.uniform(0.0, 0.04),
+                  lasts=8.0)
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        yield from _steady_writes(client, oracles["durability"],
+                                  "data", "netchaos", 32,
+                                  self.duration / 40.0)
+
+
+class TornStoreScenario(Scenario):
+    """The medium misbehaves: EIO, torn commits, bit-rot.
+
+    EIO is a clean refusal the workload retries; a torn commit leaves
+    a frankenobject a later retry or scrub repair must overwrite; and
+    bit-rot on non-primary replicas is only ever found by scrub.
+    """
+
+    name = "torn-store"
+    description = "store-level EIO, torn commits, and bit-rot"
+    duration = 22.0
+    cluster_kwargs = {"osds": 4, "mdss": 1, "mons": 3}
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        osds = self._osd_names(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        sched.add("store_eio", at=2.0 + rng.uniform(0.0, 2.0),
+                  rate=0.10 + rng.uniform(0.0, 0.15), lasts=8.0)
+        sched.add("store_torn", at=8.0 + rng.uniform(0.0, 2.0),
+                  rate=0.08 + rng.uniform(0.0, 0.10),
+                  targets=rng.sample(osds, k=2), lasts=6.0)
+        sched.add("bitrot", at=16.0 + rng.uniform(0.0, 2.0),
+                  pool="data", count=3)
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        yield from _steady_writes(client, oracles["durability"],
+                                  "data", "torn", 36,
+                                  self.duration / 44.0)
+
+
+class ChangelogFlapScenario(Scenario):
+    """OSD flaps while every data write emits a changelog record.
+
+    Producers restart with fresh incarnations; the shard class's
+    ``(producer, pseq)`` dedup and class-assigned seqs must keep every
+    shard gapless and duplicate-free anyway.
+    """
+
+    name = "changelog-flap"
+    description = "OSD flaps + message loss under changelog emission"
+    duration = 24.0
+    cluster_kwargs = {"osds": 4, "mdss": 1, "mons": 3,
+                      "changelog": True}
+    oracle_names = ("durability", "changelog", "replica-convergence")
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        osds = self._osd_names(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        first, second = rng.sample(osds, k=2)
+        sched.add("flap", at=3.0 + rng.uniform(0.0, 2.0), target=first,
+                  down_for=3.0 + rng.uniform(0.0, 2.0))
+        sched.add("flap", at=11.0 + rng.uniform(0.0, 2.0),
+                  target=second, down_for=3.0 + rng.uniform(0.0, 2.0))
+        sched.add("loss", at=7.0 + rng.uniform(0.0, 2.0), src="*",
+                  dst="*", rate=0.03 + rng.uniform(0.0, 0.05),
+                  lasts=6.0)
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        yield from _steady_writes(client, oracles["durability"],
+                                  "data", "chlog", 36,
+                                  self.duration / 44.0)
+
+
+class ZlogFenceScenario(Scenario):
+    """Sequencer-holder failures during ZLog appends.
+
+    The CORFU claim: epoch seals fence every stale writer, so no
+    acked position is ever re-issued or overwritten — even when the
+    MDS holding the sequencer dies mid-stream.
+    """
+
+    name = "zlog-fence"
+    description = "MDS/sequencer flaps during ZLog appends"
+    duration = 26.0
+    cluster_kwargs = {"osds": 4, "mdss": 2, "mons": 3}
+    oracle_names = ("zlog-fencing", "replica-convergence")
+
+    def make_schedule(self, cluster: Any) -> NemesisSchedule:
+        rng = self._rng(cluster)
+        sched = NemesisSchedule(self.name, duration=self.duration)
+        sched.add("flap", at=5.0 + rng.uniform(0.0, 3.0),
+                  target="mds0", down_for=4.0 + rng.uniform(0.0, 2.0))
+        sched.add("flap", at=15.0 + rng.uniform(0.0, 3.0),
+                  target=rng.choice(self._osd_names(cluster)),
+                  down_for=3.0)
+        return sched
+
+    def workload(self, cluster: Any, client: Any,
+                 oracles: Dict[str, Any]) -> Generator:
+        from repro.zlog import StripeLayout, ZLog
+        log = ZLog(client, "chaos", layout=StripeLayout("chaos",
+                                                        width=4))
+        yield from log.create()
+        oracle: ZlogOracle = oracles["zlog-fencing"]
+        oracle.log = log  # the runner reads positions back through it
+        for i in range(30):
+            payload = f"fence-{i}"
+            last: Optional[MalacologyError] = None
+            for _ in range(WRITE_ATTEMPTS):
+                try:
+                    pos = yield from log.append(payload)
+                except MalacologyError as exc:
+                    last = exc
+                    yield Timeout(WRITE_RETRY_DELAY)
+                    continue
+                oracle.acked(pos, payload)
+                break
+            else:
+                raise MalacologyError(
+                    f"zlog append {i} never landed: {last}")
+            yield Timeout(self.duration / 38.0)
+
+
+def _build_oracles(names: Any) -> Dict[str, Any]:
+    table: Dict[str, Callable[[], Any]] = {
+        "durability": DurabilityOracle,
+        "changelog": ChangelogOracle,
+        "replica-convergence": ReplicaConvergenceOracle,
+        "zlog-fencing": ZlogOracle,
+    }
+    return {name: table[name]() for name in names}
+
+
+#: The shipped scenario registry, keyed by name.
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s for s in [
+        RollingCrashScenario(),
+        GrayPartitionScenario(),
+        NetChaosScenario(),
+        TornStoreScenario(),
+        ChangelogFlapScenario(),
+        ZlogFenceScenario(),
+    ]
+}

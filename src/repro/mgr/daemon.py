@@ -135,6 +135,12 @@ class MgrDaemon(Daemon, MonitorClient):
                 yield from self._collect_audit(target)
         sample.osdmap = self.cached_maps.get("osd")
         sample.mdsmap = self.cached_maps.get("mds")
+        # Out-of-band reads (no messages): a fault-free managed run
+        # stays schedule-identical whether or not these are captured.
+        engine = getattr(self.sim, "chaos", None)
+        if engine is not None:
+            sample.chaos = engine.status()
+        sample.netstats = self.network.stats()
         self._last_dumps = dict(sample.dumps)
         report = evaluate_health(self.checks, sample)
         yield from self._log_transitions(report)
@@ -248,11 +254,38 @@ class MgrDaemon(Daemon, MonitorClient):
         counters and gauges (event totals and rate, queue-depth and
         ready-batch high-water marks) — read out-of-band from the
         profiler, so the export itself costs no cluster traffic.
+
+        A synthetic ``network`` target always carries the message
+        plane: sent/delivered totals, duplication and corruption
+        counts, and the cause-labeled drop counters.  When a chaos
+        engine is armed on the kernel, a ``chaos`` target adds its
+        fault totals so dashboards can correlate injected faults with
+        the damage they cause.
         """
         dumps = dict(self._last_dumps)
         profiler = getattr(self.sim, "profiler", None)
         if profiler is not None:
             dumps["kernel"] = profiler.prometheus_dump()
+        dumps["network"] = {
+            "counters": {f"net.{key}": float(value)
+                         for key, value in self.network.stats().items()},
+        }
+        engine = getattr(self.sim, "chaos", None)
+        if engine is not None:
+            status = engine.status()
+            dumps["chaos"] = {
+                "counters": {
+                    "chaos.injector_faults":
+                        float(status["injector_faults"]),
+                    "chaos.store_faults": float(status["store_faults"]),
+                    "chaos.engine_events":
+                        float(status["engine_events"]),
+                },
+                "gauges": {
+                    "chaos.armed": 1.0 if status["armed"] else 0.0,
+                    "chaos.schedule_ops": float(status["ops"]),
+                },
+            }
         return prometheus_export(dumps)
 
     def changelog_status(self) -> Dict[str, Any]:

@@ -54,6 +54,12 @@ class ClusterSample:
     mdsmap: Optional[Any] = None
     #: daemon name -> retained time series across scrapes.
     series: Dict[str, DaemonSeries] = field(default_factory=dict)
+    #: Nemesis engine status (``sim.chaos.status()``) when a chaos
+    #: engine is attached to the kernel; None otherwise.
+    chaos: Optional[Dict[str, Any]] = None
+    #: Network-plane counters (``Network.stats()``), including the
+    #: cause-labeled drop counters.
+    netstats: Optional[Dict[str, Any]] = None
 
     def named(self, role: str) -> List[str]:
         return sorted(n for n, r in self.roles.items() if r == role)
@@ -510,6 +516,32 @@ class CompactionStalledCheck(HealthCheck):
             osds=stalled, window=self.window)
 
 
+class ChaosNemesisCheck(HealthCheck):
+    """A nemesis schedule is armed against this cluster.
+
+    Chaos runs are deliberate, but an operator looking at a sick
+    cluster should see at a glance that faults are being *injected*
+    rather than organic — the same reason Ceph surfaces ``noout`` and
+    friends as health warnings.  Reads the engine status the sampler
+    captured out-of-band; clusters without an engine never fire it.
+    """
+
+    name = "CHAOS_NEMESIS_ACTIVE"
+
+    def evaluate(self, sample: ClusterSample
+                 ) -> Optional[HealthCheckResult]:
+        chaos = sample.chaos
+        if not chaos or not chaos.get("armed"):
+            return None
+        return self.result(
+            HEALTH_WARN,
+            f"nemesis schedule {chaos.get('schedule')!r} is armed: "
+            f"{chaos.get('ops', 0)} ops, "
+            f"{chaos.get('injector_faults', 0)} injector faults, "
+            f"{chaos.get('store_faults', 0)} store faults so far",
+            **chaos)
+
+
 def default_checks() -> List[HealthCheck]:
     """The standard check set the mgr evaluates every scrape."""
     return [
@@ -524,6 +556,7 @@ def default_checks() -> List[HealthCheck]:
         ChangelogTrimStalledCheck(),
         CacheTierFullCheck(),
         CompactionStalledCheck(),
+        ChaosNemesisCheck(),
     ]
 
 
@@ -570,4 +603,8 @@ def sample_cluster(cluster: Any,
             best_mds = mdsmap
     sample.osdmap = best_osd
     sample.mdsmap = best_mds
+    engine = getattr(cluster.sim, "chaos", None)
+    if engine is not None:
+        sample.chaos = engine.status()
+    sample.netstats = cluster.net.stats()
     return sample

@@ -63,6 +63,9 @@ class Daemon:
         self._pending: Dict[int, Future] = {}
         self._next_id = 0
         self._procs: List[Process] = []
+        #: Gray-failure switch: while True, ``every`` tickers keep
+        #: their cadence but skip the work (see pause_tickers).
+        self._tickers_paused = False
         #: Telemetry: every daemon owns a perf registry and shares the
         #: simulator-wide trace collector.  ``_trace_ctx`` is the span
         #: context of the handler currently executing on this daemon;
@@ -441,11 +444,26 @@ class Daemon:
                 yield Timeout(delay)
                 if not self.alive:
                     return
+                if self._tickers_paused:
+                    continue
                 result = fn()
                 if inspect.isgenerator(result):
                     yield self.sim.spawn(result, name=f"{name}:tick")
 
         return self.spawn(_loop(), name=name or f"{self.name}:ticker")
+
+    def pause_tickers(self) -> None:
+        """Freeze periodic work without killing the daemon (gray failure).
+
+        Tickers keep waking on schedule — so their jitter RNG streams
+        stay in lockstep with an unpaused run — but skip the tick body:
+        no heartbeats, no scrubs, no balancer passes.  In-flight RPC
+        handling is unaffected; the daemon looks alive and idle.
+        """
+        self._tickers_paused = True
+
+    def resume_tickers(self) -> None:
+        self._tickers_paused = False
 
     # ------------------------------------------------------------------
     # Crash / restart
@@ -467,6 +485,7 @@ class Daemon:
         if self.alive:
             return
         self.alive = True
+        self._tickers_paused = False  # a reboot clears the stall
         self.on_restart()
 
     def on_crash(self) -> None:

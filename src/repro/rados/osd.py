@@ -40,8 +40,9 @@ from repro.rados.placement import acting_set, pg_of
 from repro.sim.event import Timeout, gather
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
-from repro.store import CacheTier, LogStructuredStore, ObjectStore, \
-    make_store
+from repro.store import CacheTier, FaultInjectingStore, \
+    LogStructuredStore, ObjectStore, StoreFaultPlane, make_store, \
+    unwrap_store
 
 PgId = Tuple[str, int]  # (pool, pg)
 
@@ -65,6 +66,8 @@ class OSD(Daemon, MonitorClient):
     #: byte-identical.
     STORE_TICK_INTERVAL = 1.0
     REPOP_TIMEOUT = 1.0
+    #: Delay before retrying a rebalance whose pg_push was lost.
+    REBALANCE_RETRY = 5.0
     GOSSIP_FANOUT = 3
     #: Modelled cost of making a new interface version live (loading the
     #: interpreter state, registering methods).  Median/sigma of a
@@ -89,6 +92,8 @@ class OSD(Daemon, MonitorClient):
         self._install_rng = sim.rng(f"osd-install:{name}")
         self._gossip_rng = sim.rng(f"osd-gossip:{name}")
         self._reported_down: set = set()
+        self._reasserting = False
+        self._rebalance_retry_pending = False
         self._scrub_cursor = 0
         self.booted = False
         #: Bench hook: fn(class_name, version, sim_time) when an
@@ -116,6 +121,11 @@ class OSD(Daemon, MonitorClient):
                            self._gauge_log_compactions)
         self.register_admin_command("store.status",
                                     self._admin_store_status)
+        self.register_admin_command("scrub.trigger",
+                                    self._admin_scrub_trigger)
+        #: Chaos-engine fault plane (``repro.store.faults``); when set,
+        #: every PG store is wrapped in a :class:`FaultInjectingStore`.
+        self.store_faults: Optional[StoreFaultPlane] = None
 
         rh = self.register_handler
         #: (pool, oid) -> set of watcher client names (volatile; clients
@@ -215,7 +225,27 @@ class OSD(Daemon, MonitorClient):
         self._gossip_map(m)
         self._install_interfaces(m)
         self._reconcile_store_types(m)
+        if (self.booted and self.alive and not self._reasserting
+                and not m.is_up(self.name)):
+            # A peer falsely reported us down (a missed ping under
+            # packet loss or a gray slowdown).  Tell the monitors we
+            # are still here, like Ceph's post-markdown boot message.
+            self._reasserting = True
+            self.spawn(self._reassert_up(), name=f"{self.name}:reassert")
         self.spawn(self._rebalance_pgs(), name=f"{self.name}:rebalance")
+
+    def _reassert_up(self) -> Generator:
+        try:
+            yield from self.mon_submit([{
+                "op": "map_update", "kind": "osd",
+                "actions": [{"action": "set_osd_state",
+                             "name": self.name, "state": "up"}]}])
+            m = yield from self.mon_get_map("osd")
+            self._adopt_osdmap(m)
+        except MalacologyError:
+            pass  # map flow will trigger another attempt
+        finally:
+            self._reasserting = False
 
     # ------------------------------------------------------------------
     # Gossip (paper section 4.4 / Figure 8)
@@ -273,11 +303,29 @@ class OSD(Daemon, MonitorClient):
         key = (pool, pgid)
         store = self.pgs.get(key)
         if store is None:
-            store = self._build_store(self._pool_cfg(pool))
+            store = self._wrap_store(
+                self._build_store(self._pool_cfg(pool)))
             self.pgs[key] = store
             if store.needs_maintenance:
                 self._ensure_store_ticker()
         return store
+
+    def _wrap_store(self, store: ObjectStore) -> ObjectStore:
+        if self.store_faults is None:
+            return store
+        return FaultInjectingStore(store, self.store_faults, self.name)
+
+    def set_store_fault_plane(
+            self, plane: Optional[StoreFaultPlane]) -> None:
+        """Install (or remove) the chaos fault plane on every PG store.
+
+        Wrapping is transparent to schedules — the shim adds no events
+        and draws no RNG until the plane's rates are nonzero.
+        """
+        self.store_faults = plane
+        for key in sorted(self.pgs):
+            inner = unwrap_store(self.pgs[key])
+            self.pgs[key] = self._wrap_store(inner)
 
     def _pool_cfg(self, pool: str) -> Dict[str, Any]:
         m = self.osdmap
@@ -297,6 +345,7 @@ class OSD(Daemon, MonitorClient):
 
     @staticmethod
     def _store_matches(store: ObjectStore, cfg: Dict[str, Any]) -> bool:
+        store = unwrap_store(store)
         backend = None if "ec" in cfg else cfg.get("backend")
         cache = None if "ec" in cfg else cfg.get("cache")
         if isinstance(store, CacheTier) != (cache is not None):
@@ -326,7 +375,7 @@ class OSD(Daemon, MonitorClient):
             store = self.pgs[key]
             if self._store_matches(store, cfg):
                 continue
-            replacement = self._build_store(cfg)
+            replacement = self._wrap_store(self._build_store(cfg))
             for oid in sorted(store):
                 replacement[oid] = store[oid]
             self.pgs[key] = replacement
@@ -362,12 +411,17 @@ class OSD(Daemon, MonitorClient):
 
     # -- health-check gauges -------------------------------------------
     def _cache_tiers(self) -> List[CacheTier]:
-        return [s for _, s in sorted(self.pgs.items())
-                if isinstance(s, CacheTier)]
+        out = []
+        for _, s in sorted(self.pgs.items()):
+            s = unwrap_store(s)
+            if isinstance(s, CacheTier):
+                out.append(s)
+        return out
 
     def _log_stores(self) -> List[LogStructuredStore]:
         out = []
         for _, s in sorted(self.pgs.items()):
+            s = unwrap_store(s)
             if isinstance(s, CacheTier):
                 s = s.base
             if isinstance(s, LogStructuredStore):
@@ -526,7 +580,9 @@ class OSD(Daemon, MonitorClient):
                 continue
             acting = acting_set(m, pool, pgid)
             if not objects and self.name not in acting:
-                del self.pgs[(pool, pgid)]
+                # pop, not del: a concurrent rebalance (retry or a
+                # newer map's run) may have dropped the key already.
+                self.pgs.pop((pool, pgid), None)
                 continue
             if not objects:
                 continue
@@ -544,10 +600,39 @@ class OSD(Daemon, MonitorClient):
                                     timeout=self.REPOP_TIMEOUT)
                 except MalacologyError:
                     acked = False
-            if self.name not in acting and acked and targets:
+            # The map may have advanced while the pushes were in
+            # flight (each one yields); re-check membership against
+            # the *current* map before letting local data go, or a
+            # slow push ack can delete a PG this OSD just re-joined.
+            current = self.osdmap
+            if current is not None and pool in current.pools:
+                cur_acting = acting_set(current, pool, pgid)
+            else:
+                cur_acting = acting
+            covered = set(cur_acting) - {self.name} <= set(targets)
+            if (self.name not in cur_acting and acked and targets
+                    and covered):
                 # We are out of the acting set and the data is safely
                 # elsewhere; let it go.
                 self.pgs.pop((pool, pgid), None)
+            elif not acked or not covered:
+                # A push was lost: until the next map change nothing
+                # else revisits this PG, so an ex-member could strand
+                # acked data forever.  Re-arm one delayed retry.
+                self._schedule_rebalance_retry()
+
+    def _schedule_rebalance_retry(self) -> None:
+        if self._rebalance_retry_pending or not self.alive:
+            return
+        self._rebalance_retry_pending = True
+        self.spawn(self._rebalance_retry(),
+                   name=f"{self.name}:rebalance-retry")
+
+    def _rebalance_retry(self) -> Generator:
+        yield Timeout(self.REBALANCE_RETRY)
+        self._rebalance_retry_pending = False
+        if self.alive:
+            yield from self._rebalance_pgs()
 
     def _split_pgs(self, m) -> None:
         """Placement-group splitting (paper section 4.4).
@@ -834,6 +919,30 @@ class OSD(Daemon, MonitorClient):
         pg = self.pgs.get((payload["pool"], payload["pg"]), {})
         return {oid: obj.digest() for oid, obj in pg.items()}
 
+    def _admin_scrub_trigger(self, args: Any) -> Dict[str, Any]:
+        """``scrub.trigger``: scrub every PG this OSD leads, now.
+
+        The periodic ticker visits one PG per 30s tick; chaos runs
+        need all replicas verified before their oracles read the end
+        state.  Spawns one scrub per led PG (optional ``pool`` filter)
+        and returns how many were started; callers run the sim to let
+        them finish.
+        """
+        m = self.osdmap
+        pool_filter = (args or {}).get("pool")
+        started = 0
+        if m is not None and self.alive:
+            for pool, pgid in sorted(self.pgs):
+                if pool_filter is not None and pool != pool_filter:
+                    continue
+                acting = acting_set(m, pool, pgid)
+                if not acting or acting[0] != self.name:
+                    continue
+                self.spawn(self._scrub_pg(pool, pgid, acting[1:]),
+                           name=f"{self.name}:scrub-trigger")
+                started += 1
+        return {"name": self.name, "scrubs_started": started}
+
     # ------------------------------------------------------------------
     # Crash / restart
     # ------------------------------------------------------------------
@@ -844,6 +953,8 @@ class OSD(Daemon, MonitorClient):
         self._store_ticker_started = False  # ticker proc died with us
         self.watchers = {}
         self._reported_down = set()
+        self._reasserting = False  # the spawned procs died with us
+        self._rebalance_retry_pending = False
         self.cached_maps.pop("osd", None)
         # Dynamic classes live in memory: reload on restart from the map.
         self._installed_versions = {}

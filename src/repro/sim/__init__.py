@@ -13,6 +13,7 @@ from repro.sim.network import (
     FixedLatency,
     LogNormalLatency,
     Network,
+    ScaledLatency,
     UniformLatency,
 )
 from repro.sim.failure import FailureInjector
@@ -26,5 +27,6 @@ __all__ = [
     "FixedLatency",
     "UniformLatency",
     "LogNormalLatency",
+    "ScaledLatency",
     "FailureInjector",
 ]

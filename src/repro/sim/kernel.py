@@ -159,6 +159,10 @@ class Simulator:
         #: enabling them leaves the event schedule byte-identical.
         self.profiler: Optional[Any] = None
         self.wall_profiler: Optional[Any] = None
+        #: Chaos-engine attachment point (repro.chaos).  Set by
+        #: ``NemesisEngine.arm`` so oracles, the mgr, and tests can
+        #: discover the active engine from the simulator alone.
+        self.chaos: Optional[Any] = None
         if os.environ.get("MALACOLOGY_SANITIZE"):
             from repro.analysis.sanitizers import install_sanitizers
             install_sanitizers(self)

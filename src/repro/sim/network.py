@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Any, Callable, Dict, Optional, Protocol, Set, Tuple
+from typing import (Any, Callable, Dict, List, Optional, Protocol, Set,
+                    Tuple)
 
 from repro.sim.kernel import Simulator
 
@@ -83,6 +84,25 @@ class LogNormalLatency(LatencyModel):
         return delay
 
 
+class ScaledLatency(LatencyModel):
+    """Multiply another model's draws by a constant factor.
+
+    The gray-failure primitive: a slow-but-alive daemon is modeled by
+    overriding its traffic with its usual latency model scaled up.
+    Draws pass through to the wrapped model, so the number of RNG
+    samples per message is unchanged — only the magnitude differs.
+    """
+
+    def __init__(self, base: LatencyModel, factor: float):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.base = base
+        self.factor = factor
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.base.sample(src, dst, rng) * self.factor
+
+
 #: Default LAN profile: 100us median with a modest tail, loopback-free.
 def lan_latency() -> LatencyModel:
     return LogNormalLatency(median=100e-6, sigma=0.35, cap=5e-3)
@@ -102,7 +122,9 @@ class Network:
         self.sim = sim
         self.latency = latency or lan_latency()
         self._endpoints: Dict[str, Endpoint] = {}
-        self._partitions: Set[frozenset] = set()
+        #: Blocked *directed* links.  A bidirectional partition is the
+        #: symmetric special case (both orientations present).
+        self._blocked: Set[Tuple[str, str]] = set()
         self._rng = sim.rng("network")
         #: Per-endpoint latency overrides (see set_latency_override);
         #: they draw from a dedicated RNG stream so instrumentation
@@ -111,10 +133,30 @@ class Network:
         self._override_rng = sim.rng("network:overrides")
         #: Optional hook deciding per-message drops: fn(src, dst) -> bool.
         self.drop_hook: Optional[Callable[[str, str], bool]] = None
+        #: Optional chaos hook consulted after the drop decision and
+        #: latency sampling: fn(src, dst, envelope, delay) -> None to
+        #: deliver normally, or a list of (delay, envelope) deliveries
+        #: (empty = message destroyed, len > 1 = duplicates).  Chaos
+        #: draws its randomness from its own streams, so an installed
+        #: hook that declines every message leaves the schedule
+        #: byte-identical to a run without one.
+        self.chaos_hook: Optional[
+            Callable[[str, str, Any, float],
+                     Optional[List[Tuple[float, Any]]]]] = None
         # Counters for observability and the propagation benchmarks.
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_corrupted = 0
+        #: Drops by cause; ``messages_dropped`` sums these.
+        self.drops_by_cause: Dict[str, int] = {
+            "partition": 0, "drop_hook": 0,
+            "unregistered": 0, "chaos": 0,
+        }
+
+    @property
+    def messages_dropped(self) -> int:
+        return sum(self.drops_by_cause.values())
 
     def register(self, endpoint: Endpoint) -> None:
         if endpoint.name in self._endpoints:
@@ -152,16 +194,31 @@ class Network:
     # ------------------------------------------------------------------
     def partition(self, a: str, b: str) -> None:
         """Block traffic in both directions between ``a`` and ``b``."""
-        self._partitions.add(frozenset((a, b)))
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
 
     def heal(self, a: str, b: str) -> None:
-        self._partitions.discard(frozenset((a, b)))
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    def partition_oneway(self, src: str, dst: str) -> None:
+        """Block only ``src`` -> ``dst``; the reverse path stays up.
+
+        Asymmetric links are the classic gray failure: ``dst`` still
+        reaches ``src``, so failure detectors on one side see a healthy
+        peer while the other side times out.
+        """
+        self._blocked.add((src, dst))
+
+    def heal_oneway(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
 
     def heal_all(self) -> None:
-        self._partitions.clear()
+        self._blocked.clear()
 
-    def partitioned(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._partitions
+    def partitioned(self, src: str, dst: str) -> bool:
+        """Whether traffic ``src`` -> ``dst`` is currently blocked."""
+        return (src, dst) in self._blocked
 
     # ------------------------------------------------------------------
     # Send path
@@ -174,10 +231,10 @@ class Network:
         """
         self.messages_sent += 1
         if self.partitioned(src, dst):
-            self.messages_dropped += 1
+            self.drops_by_cause["partition"] += 1
             return
         if self.drop_hook is not None and self.drop_hook(src, dst):
-            self.messages_dropped += 1
+            self.drops_by_cause["drop_hook"] += 1
             return
         override = self._latency_overrides.get(
             src, self._latency_overrides.get(dst))
@@ -187,12 +244,36 @@ class Network:
             delay = override.sample(src, dst, self._override_rng)
         else:
             delay = self.latency.sample(src, dst, self._rng)
+        if self.chaos_hook is not None:
+            plan = self.chaos_hook(src, dst, envelope, delay)
+            if plan is not None:
+                if not plan:
+                    self.drops_by_cause["chaos"] += 1
+                    return
+                self.messages_duplicated += len(plan) - 1
+                for chaos_delay, chaos_envelope in plan:
+                    self.sim.schedule(
+                        chaos_delay, self._deliver, dst, chaos_envelope)
+                return
         self.sim.schedule(delay, self._deliver, dst, envelope)
 
     def _deliver(self, dst: str, envelope: Any) -> None:
         endpoint = self._endpoints.get(dst)
         if endpoint is None:
-            self.messages_dropped += 1
+            self.drops_by_cause["unregistered"] += 1
             return
         self.messages_delivered += 1
         endpoint.deliver(envelope)
+
+    def stats(self) -> Dict[str, int]:
+        """Flat counter snapshot for observability (mgr Prometheus)."""
+        out = {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_corrupted": self.messages_corrupted,
+        }
+        for cause, count in sorted(self.drops_by_cause.items()):
+            out[f"messages_dropped_{cause}"] = count
+        return out

@@ -14,6 +14,8 @@ from repro.store.base import (BACKEND_PROFILES, ObjectStore,
                               normalize_backend, normalize_cache)
 from repro.store.cachetier import CacheEntry, CacheTier
 from repro.store.coldstore import ColdObject, ColdStore
+from repro.store.faults import (FaultInjectingStore, StoreFaultPlane,
+                                unwrap_store)
 from repro.store.logstructured import LogRecord, LogStructuredStore
 from repro.store.memstore import MemStore
 
@@ -23,13 +25,16 @@ __all__ = [
     "CacheTier",
     "ColdObject",
     "ColdStore",
+    "FaultInjectingStore",
     "LogRecord",
     "LogStructuredStore",
     "MemStore",
     "ObjectStore",
+    "StoreFaultPlane",
     "make_store",
     "normalize_backend",
     "normalize_cache",
+    "unwrap_store",
 ]
 
 
